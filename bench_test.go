@@ -1,0 +1,176 @@
+package hdsampler
+
+// One benchmark per paper exhibit (see DESIGN.md's per-experiment index).
+// Each runs the corresponding experiment at small scale and reports its
+// headline metrics, so `go test -bench=.` regenerates every table's
+// numbers in miniature; `cmd/hdbench -scale full` prints the full tables
+// recorded in EXPERIMENTS.md. Micro-benchmarks for the hot substrate paths
+// follow at the end.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hdsampler/internal/core"
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/experiments"
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/history"
+	"hdsampler/internal/htmlx"
+)
+
+// benchExperiment runs one experiment per iteration and reports its
+// metrics through the benchmark framework.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tbl *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = e.Run(experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for name, v := range tbl.Metrics {
+		b.ReportMetric(v, strings.ReplaceAll(name, " ", "_"))
+	}
+}
+
+func BenchmarkFigure1WalkExample(b *testing.B)      { benchExperiment(b, "figure1") }
+func BenchmarkFigure2Pipeline(b *testing.B)         { benchExperiment(b, "figure2") }
+func BenchmarkFigure3AttributeScoping(b *testing.B) { benchExperiment(b, "figure3") }
+func BenchmarkFigure4Marginals(b *testing.B)        { benchExperiment(b, "figure4") }
+func BenchmarkTableTopK(b *testing.B)               { benchExperiment(b, "topk") }
+func BenchmarkTableTradeoff(b *testing.B)           { benchExperiment(b, "tradeoff") }
+func BenchmarkTableHistorySavings(b *testing.B)     { benchExperiment(b, "history") }
+func BenchmarkTableBruteForce(b *testing.B)         { benchExperiment(b, "bruteforce") }
+func BenchmarkTableCountLeverage(b *testing.B)      { benchExperiment(b, "count") }
+func BenchmarkTableAggregates(b *testing.B)         { benchExperiment(b, "aggregates") }
+func BenchmarkTableScalability(b *testing.B)        { benchExperiment(b, "scale") }
+func BenchmarkTableOrdering(b *testing.B)           { benchExperiment(b, "ordering") }
+func BenchmarkTableCrawlVsSample(b *testing.B)      { benchExperiment(b, "crawl") }
+func BenchmarkTableWeighted(b *testing.B)           { benchExperiment(b, "weighted") }
+func BenchmarkTableDeployment(b *testing.B)         { benchExperiment(b, "deployment") }
+
+// --- substrate micro-benchmarks ---
+
+func benchVehiclesDB(b *testing.B, n, k int, mode hiddendb.CountMode) *hiddendb.DB {
+	b.Helper()
+	ds := datagen.Vehicles(n, 1)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: k, CountMode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkHiddenDBExecute measures one conjunctive top-k query on a 50k
+// tuple inventory.
+func BenchmarkHiddenDBExecute(b *testing.B) {
+	db := benchVehiclesDB(b, 50000, 1000, hiddendb.CountExact)
+	q := hiddendb.MustQuery(
+		hiddendb.Predicate{Attr: datagen.VehAttrMake, Value: 0},
+		hiddendb.Predicate{Attr: datagen.VehAttrCondition, Value: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalkerCandidate measures one full drill-down (including
+// restarts) against an in-process interface.
+func BenchmarkWalkerCandidate(b *testing.B) {
+	db := benchVehiclesDB(b, 20000, 1000, hiddendb.CountNone)
+	ctx := context.Background()
+	w, err := core.NewWalker(ctx, formclient.NewLocal(db), core.WalkerConfig{Seed: 2, Order: core.OrderShuffle})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Candidate(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.GenStats().Queries)/float64(b.N), "queries/candidate")
+}
+
+// BenchmarkCountWalkerCandidate measures the count-weighted drill-down.
+func BenchmarkCountWalkerCandidate(b *testing.B) {
+	db := benchVehiclesDB(b, 20000, 1000, hiddendb.CountExact)
+	ctx := context.Background()
+	cw, err := core.NewCountWalker(ctx, formclient.NewLocal(db),
+		core.CountWalkerConfig{Seed: 3, UseParentCount: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cw.Candidate(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cw.GenStats().Queries)/float64(b.N), "queries/candidate")
+}
+
+// BenchmarkHistoryCachedExecute measures a cache hit through the history
+// decorator.
+func BenchmarkHistoryCachedExecute(b *testing.B) {
+	db := benchVehiclesDB(b, 20000, 100, hiddendb.CountNone)
+	cache := history.New(formclient.NewLocal(db), history.Options{})
+	ctx := context.Background()
+	q := hiddendb.MustQuery(hiddendb.Predicate{Attr: datagen.VehAttrMake, Value: 1})
+	if _, err := cache.Execute(ctx, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Execute(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTMLParseResultPage measures parsing a realistic 100-row result
+// page — the scraping hot path.
+func BenchmarkHTMLParseResultPage(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString(`<html><body><div id="status" data-overflow="true">overflow</div><table id="results">`)
+	sb.WriteString(`<tr><th>item</th><th>make</th><th>price</th></tr>`)
+	for i := 0; i < 100; i++ {
+		sb.WriteString(`<tr><td><a href="/item/1">#1</a></td><td>toyota</td><td>12345</td></tr>`)
+	}
+	sb.WriteString(`</table></body></html>`)
+	page := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := htmlx.Parse(page)
+		if htmlx.TableByID(root, "results") == nil {
+			b.Fatal("table lost")
+		}
+	}
+	b.SetBytes(int64(len(page)))
+}
+
+// BenchmarkEndToEndDraw measures the complete facade path: walk + history
+// + rejection at a moderate slider, one accepted sample per iteration.
+func BenchmarkEndToEndDraw(b *testing.B) {
+	db := benchVehiclesDB(b, 20000, 1000, hiddendb.CountNone)
+	ctx := context.Background()
+	s, err := New(ctx, LocalConn(db), Config{Seed: 4, Slider: 0.9, K: 1000, UseHistory: true, ShuffleOrder: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, _, err := s.Draw(ctx, b.N); err != nil {
+		b.Fatal(err)
+	}
+}

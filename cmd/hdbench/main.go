@@ -1,0 +1,77 @@
+// Command hdbench regenerates every table and figure of the HDSampler
+// reproduction (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// recorded outputs).
+//
+// Usage:
+//
+//	hdbench                      # run everything at full scale
+//	hdbench -scale small         # quick pass
+//	hdbench -run figure4,tradeoff
+//	hdbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hdsampler/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleF = flag.String("scale", "full", "experiment sizing: small | full")
+		runF   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleF) {
+	case "small":
+		scale = experiments.ScaleSmall
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleF)
+		os.Exit(2)
+	}
+
+	var selected []experiments.Experiment
+	if *runF == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runF, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

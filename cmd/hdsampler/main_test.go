@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hdsampler/internal/datagen"
+)
+
+func TestBuildConnLocal(t *testing.T) {
+	for _, name := range []string{"vehicles", "bool-iid", "bool-corr"} {
+		conn, err := buildConn("", false, name, 200, 50, "exact", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		schema, err := conn.Schema(context.Background())
+		if err != nil || schema.NumAttrs() == 0 {
+			t.Fatalf("%s: schema %v %v", name, schema, err)
+		}
+	}
+	if _, err := buildConn("", false, "", 200, 50, "exact", 1); err == nil {
+		t.Error("missing -url and -local accepted")
+	}
+	if _, err := buildConn("", false, "mystery", 200, 50, "exact", 1); err == nil {
+		t.Error("unknown local dataset accepted")
+	}
+	if _, err := buildConn("", false, "vehicles", 200, 50, "sometimes", 1); err == nil {
+		t.Error("unknown count mode accepted")
+	}
+}
+
+func TestBuildConnURLModes(t *testing.T) {
+	html, err := buildConn("http://example.invalid", false, "", 0, 0, "", 1)
+	if err != nil || html == nil {
+		t.Fatalf("html conn: %v", err)
+	}
+	api, err := buildConn("http://example.invalid", true, "", 0, 0, "", 1)
+	if err != nil || api == nil {
+		t.Fatalf("api conn: %v", err)
+	}
+}
+
+func TestParseAttrs(t *testing.T) {
+	schema := datagen.VehiclesSchema()
+	got, err := parseAttrs(schema, "make, color ,doors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{datagen.VehAttrMake, datagen.VehAttrColor, datagen.VehAttrDoors}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("parseAttrs = %v, want %v", got, want)
+	}
+	if _, err := parseAttrs(schema, "warp-drive"); err == nil || !strings.Contains(err.Error(), "unknown attribute") {
+		t.Fatalf("unknown attribute: %v", err)
+	}
+	if got, err := parseAttrs(schema, ""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+}
+
+func TestPrintAggregatesValidation(t *testing.T) {
+	schema := datagen.VehiclesSchema()
+	ds := datagen.Vehicles(50, 1)
+	samples := ds.Tuples
+	if err := printAggregates(schema, samples, "make=toyota", "price"); err != nil {
+		t.Fatalf("valid aggregate failed: %v", err)
+	}
+	for _, bad := range []struct{ where, attr string }{
+		{"noequals", ""},
+		{"warp=1", ""},
+		{"make=delorean", ""},
+		{"make=toyota", "warp"},
+	} {
+		if err := printAggregates(schema, samples, bad.where, bad.attr); err == nil {
+			t.Errorf("printAggregates(%q,%q) accepted", bad.where, bad.attr)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hdsampler"
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/store"
+)
+
+func TestPersistSamplesRoundTrip(t *testing.T) {
+	ds := datagen.Vehicles(30, 1)
+	schema := ds.Schema
+	dir := t.TempDir()
+	out := filepath.Join(dir, "run1.json")
+
+	first, err := persistSamples(schema, ds.Tuples[:20], hdsampler.Stats{Queries: 40},
+		"walk", 0.5, "test", "", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 20 {
+		t.Fatalf("first run returned %d samples", len(first))
+	}
+
+	// Second run merges with the first and saves the union.
+	out2 := filepath.Join(dir, "run2.json")
+	combined, err := persistSamples(schema, ds.Tuples[20:], hdsampler.Stats{Queries: 15},
+		"walk", 0.5, "test", out, out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combined) != 30 {
+		t.Fatalf("combined = %d samples, want 30", len(combined))
+	}
+	set, err := store.LoadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Samples) != 30 || set.Queries != 55 {
+		t.Fatalf("persisted set: %d samples, %d queries", len(set.Samples), set.Queries)
+	}
+
+	// No flags: pass-through.
+	same, err := persistSamples(schema, ds.Tuples[:5], hdsampler.Stats{}, "walk", 1, "t", "", "")
+	if err != nil || len(same) != 5 {
+		t.Fatalf("pass-through: %d %v", len(same), err)
+	}
+	// Missing -in file errors.
+	if _, err := persistSamples(schema, ds.Tuples[:5], hdsampler.Stats{}, "walk", 1, "t",
+		filepath.Join(dir, "absent.json"), ""); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

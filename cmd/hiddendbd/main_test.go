@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+)
+
+func TestMakeDataset(t *testing.T) {
+	for _, name := range []string{"vehicles", "jobs", "bool-iid", "bool-corr", "zipf", "VEHICLES"} {
+		ds, err := makeDataset(name, 6, 50, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ds.Tuples) != 50 {
+			t.Errorf("%s: %d tuples", name, len(ds.Tuples))
+		}
+		if _, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 5}); err != nil {
+			t.Errorf("%s: invalid dataset: %v", name, err)
+		}
+	}
+	if _, err := makeDataset("nope", 6, 50, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestParseCountMode(t *testing.T) {
+	cases := map[string]hiddendb.CountMode{
+		"none": hiddendb.CountNone, "exact": hiddendb.CountExact,
+		"approx": hiddendb.CountApprox, "EXACT": hiddendb.CountExact,
+	}
+	for in, want := range cases {
+		got, err := parseCountMode(in)
+		if err != nil || got != want {
+			t.Errorf("parseCountMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseCountMode("fuzzy"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inv.csv")
+	csv := "make,price\ntoyota,1\nhonda,2\ntoyota,3\nford,4\nhonda,5\ntoyota,6\nford,7\nhonda,8\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := loadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schema.Name != "inv.csv" || ds.Schema.NumAttrs() != 2 {
+		t.Fatalf("schema = %+v", ds.Schema)
+	}
+	if _, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCSV(filepath.Join(dir, "absent.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

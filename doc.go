@@ -1,0 +1,44 @@
+// Package hdsampler reproduces HDSampler (SIGMOD 2009): a practical system
+// for drawing random samples from structured hidden web databases through
+// their conjunctive top-k form interfaces, and for answering approximate
+// aggregate queries from those samples.
+//
+// # Background
+//
+// A hidden database sits behind a web form: a client can only issue
+// conjunctive equality queries and sees at most the top-k ranked matches,
+// with an overflow notification when more qualify. HDSampler draws
+// near-uniform random samples through that interface using the
+// HIDDEN-DB-SAMPLER random drill-down (Dasgupta, Das, Mannila — SIGMOD
+// 2007): start broad, add random predicates while the query overflows, and
+// pick a returned row once it does not; an acceptance/rejection step then
+// trades residual skew against query cost. Count-leveraging optimizations
+// (Dasgupta, Zhang, Das — ICDE 2009) — query-history reuse and
+// count-weighted drill-downs — cut the query bill further.
+//
+// # Layout
+//
+// This root package is a facade over the implementation packages:
+//
+//   - internal/hiddendb — the hidden database engine (schema, conjunctive
+//     top-k execution, ranking, count modes, budgets)
+//   - internal/webform — an HTTP server exposing a database behind an HTML
+//     form interface (the Google Base stand-in)
+//   - internal/htmlx, internal/formclient — HTML scraping and the Local /
+//     HTTP / API connectors
+//   - internal/history — query memoization and inference
+//   - internal/core — the samplers, rejection and pipeline
+//   - internal/exact — closed-form walk analysis for experiments
+//   - internal/estimate, internal/metrics — output statistics
+//   - internal/datagen — seeded synthetic datasets, including the Vehicles
+//     inventory used throughout the experiments
+//
+// # Quickstart
+//
+//	conn := hdsampler.Dial("http://dealer.example.com")
+//	s, err := hdsampler.New(ctx, conn, hdsampler.Config{Slider: 0.6, UseHistory: true})
+//	if err != nil { ... }
+//	tuples, stats, err := s.Draw(ctx, 200)
+//
+// See examples/ for runnable programs and cmd/ for the CLI tools.
+package hdsampler

@@ -1,0 +1,97 @@
+package hdsampler_test
+
+// Compile-checked documentation examples for the public API. These are not
+// executed (no Output comments — sampling output is statistical), but godoc
+// renders them and the compiler keeps them honest.
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hdsampler"
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+)
+
+// Example shows the canonical flow: dial a hidden database's web form
+// interface, draw near-uniform samples, and answer an aggregate.
+func Example() {
+	ctx := context.Background()
+	conn := hdsampler.Dial("http://dealer.example.com")
+	s, err := hdsampler.New(ctx, conn, hdsampler.Config{
+		Slider: 0.85, K: 1000, ShuffleOrder: true, UseHistory: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, stats, err := s.Draw(ctx, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := s.Schema()
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: schema.AttrIndex("make"), Value: 0})
+	fmt.Printf("%d samples, %d queries; share: %s\n",
+		stats.Accepted, stats.Queries, hdsampler.ProportionEstimate(samples, pred))
+}
+
+// ExampleNew_localSimulation samples an in-process database — the demo's
+// "locally simulated hidden database" backup plan.
+func ExampleNew_localSimulation() {
+	ds := datagen.Vehicles(10000, 1)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil,
+		hiddendb.Config{K: 1000, CountMode: hiddendb.CountExact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	s, err := hdsampler.New(ctx, hdsampler.LocalConn(db), hdsampler.Config{
+		Method: hdsampler.MethodCountWeighted, UseParentCount: true, K: db.K(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, _, err := s.Draw(ctx, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(samples))
+}
+
+// ExampleSampler_NewPipeline streams samples incrementally with a kill
+// switch, the demo's Figure 2 interaction.
+func ExampleSampler_NewPipeline() {
+	ds := datagen.Vehicles(5000, 2)
+	db, _ := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 500})
+	ctx := context.Background()
+	s, err := hdsampler.New(ctx, hdsampler.LocalConn(db), hdsampler.Config{ShuffleOrder: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := s.NewPipeline(0) // unbounded: run until stopped
+	got := 0
+	for range pipe.Start(ctx) {
+		got++
+		if got == 25 {
+			pipe.Stop() // the kill switch
+		}
+	}
+	fmt.Println(got >= 25)
+}
+
+// ExampleSampler_DrawWeighted estimates an aggregate and the database size
+// from unrejected candidates via Horvitz–Thompson weighting.
+func ExampleSampler_DrawWeighted() {
+	ds := datagen.Vehicles(8000, 3)
+	db, _ := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 1000})
+	ctx := context.Background()
+	s, err := hdsampler.New(ctx, hdsampler.LocalConn(db), hdsampler.Config{ShuffleOrder: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws, _, err := s.DrawWeighted(ctx, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated size: %s\n", ws.Population())
+}

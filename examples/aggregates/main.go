@@ -1,0 +1,82 @@
+// Aggregates: the paper's §1 use case — "if one wants to learn the
+// percentage of Japanese cars in the dealer's inventory, a very small
+// number of uniform random samples can provide a quite accurate answer" —
+// plus the §3.4 COUNT/SUM/AVG interface, with confidence intervals checked
+// against ground truth.
+//
+//	go run ./examples/aggregates
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hdsampler"
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+)
+
+func main() {
+	ds := datagen.Vehicles(40000, 11)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil,
+		hiddendb.Config{K: 1000, CountMode: hiddendb.CountExact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	// Exact counts let the count-weighted sampler draw perfectly uniform
+	// samples cheaply — the ICDE 2009 upgrade HDSampler cites as [2].
+	s, err := hdsampler.New(ctx, hdsampler.LocalConn(db), hdsampler.Config{
+		Method: hdsampler.MethodCountWeighted, Seed: 3,
+		UseParentCount: true, UseHistory: true, TrustCounts: true, K: db.K(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, stats, err := s.Draw(ctx, 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drew %d uniform samples with %d queries (%d saved by history)\n\n",
+		stats.Accepted, stats.Queries, stats.QueriesSaved)
+
+	schema := s.Schema()
+	makeIdx := schema.AttrIndex("make")
+	condIdx := schema.AttrIndex("condition")
+	priceIdx := schema.AttrIndex("price")
+	mileIdx := schema.AttrIndex("mileage")
+
+	// Percentage of Japanese cars.
+	japanese := 0.0
+	for _, idx := range datagen.JapaneseMakeIndexes() {
+		pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: makeIdx, Value: idx})
+		japanese += hdsampler.ProportionEstimate(samples, pred).Value
+	}
+	trueJP := 0.0
+	for _, idx := range datagen.JapaneseMakeIndexes() {
+		c, _, _ := db.TrueAggregate(hiddendb.MustQuery(hiddendb.Predicate{Attr: makeIdx, Value: idx}), -1)
+		trueJP += float64(c)
+	}
+	trueJP /= float64(db.Size())
+	fmt.Printf("%% Japanese cars:        estimate %5.1f%%      truth %5.1f%%\n", japanese*100, trueJP*100)
+
+	// COUNT(condition = used), scaled by the known population size.
+	usedPred := hiddendb.MustQuery(hiddendb.Predicate{Attr: condIdx, Value: 1})
+	countEst := hdsampler.CountEstimate(samples, usedPred, db.Size())
+	trueCount, trueMiles, _ := db.TrueAggregate(usedPred, mileIdx)
+	lo, hi := countEst.CI(1.96)
+	fmt.Printf("COUNT(used):            %8.0f [%0.0f, %0.0f]  truth %d\n", countEst.Value, lo, hi, trueCount)
+
+	// AVG(price | make = toyota).
+	toyotaPred := hiddendb.MustQuery(hiddendb.Predicate{Attr: makeIdx, Value: 0})
+	avgEst := hdsampler.AvgEstimate(samples, toyotaPred, priceIdx)
+	_, _, trueAvg := db.TrueAggregate(toyotaPred, priceIdx)
+	lo, hi = avgEst.CI(1.96)
+	fmt.Printf("AVG(price | toyota):    %8.0f [%0.0f, %0.0f]  truth %.0f\n", avgEst.Value, lo, hi, trueAvg)
+
+	// SUM(mileage | used).
+	sumEst := hdsampler.SumEstimate(samples, usedPred, mileIdx, db.Size())
+	lo, hi = sumEst.CI(1.96)
+	fmt.Printf("SUM(mileage | used):  %.3e [%.3e, %.3e]  truth %.3e\n", sumEst.Value, lo, hi, trueMiles)
+}

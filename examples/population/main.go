@@ -1,0 +1,86 @@
+// Population: how large is the hidden database? The interface never says —
+// this example estimates it three ways through the form interface alone:
+//
+//  1. the root count, when the interface reports (exact) counts;
+//
+//  2. birthday/collision estimation from repeated uniform samples;
+//
+//  3. Horvitz–Thompson weighting of raw walk candidates (no counts, no
+//     uniformity needed — every candidate's reach probability is known).
+//
+// Run with: go run ./examples/population
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hdsampler"
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+)
+
+func main() {
+	const trueSize = 12000
+	ds := datagen.Vehicles(trueSize, 13)
+
+	ctx := context.Background()
+	fmt.Printf("hidden database true size: %d (unknown to the client)\n\n", trueSize)
+
+	// 1. Count-reporting interface: one query answers it.
+	dbExact, err := hiddendb.New(ds.Schema, cloneTuples(ds.Tuples), nil,
+		hiddendb.Config{K: 1000, CountMode: hiddendb.CountExact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, ok := hdsampler.PopulationEstimate(ctx, hdsampler.LocalConn(dbExact), nil)
+	fmt.Printf("root count (counts=exact):   %8.0f        ok=%v\n", est.Value, ok)
+
+	// The remaining estimators assume the realistic case: no counts.
+	dbNone, err := hiddendb.New(ds.Schema, cloneTuples(ds.Tuples), nil,
+		hiddendb.Config{K: 1000, CountMode: hiddendb.CountNone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn := hdsampler.LocalConn(dbNone)
+
+	// 2. Birthday estimator over near-uniform samples: needs enough draws
+	// to collide (~sqrt(N) scale).
+	s, err := hdsampler.New(ctx, conn, hdsampler.Config{
+		Seed: 1, Slider: 0.5, K: 1000, ShuffleOrder: true, UseHistory: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, stats, err := s.Draw(ctx, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, ok = hdsampler.PopulationEstimate(ctx, conn, samples)
+	fmt.Printf("birthday (500 samples):      %8.0f ± %-6.0f ok=%v  (%d queries)\n",
+		est.Value, est.StdErr, ok, stats.Queries)
+
+	// 3. Horvitz–Thompson over raw candidates: no rejection, no counts.
+	s2, err := hdsampler.New(ctx, conn, hdsampler.Config{
+		Seed: 2, K: 1000, ShuffleOrder: true, UseHistory: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws, wstats, err := s2.DrawWeighted(ctx, 1500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop := ws.Population()
+	fmt.Printf("Horvitz-Thompson (1500 raw): %8.0f ± %-6.0f ok=true (%d queries)\n",
+		pop.Value, pop.StdErr, wstats.Queries)
+}
+
+func cloneTuples(in []hiddendb.Tuple) []hiddendb.Tuple {
+	out := make([]hiddendb.Tuple, len(in))
+	for i := range in {
+		out[i] = in[i].Clone()
+	}
+	return out
+}

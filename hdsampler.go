@@ -1,0 +1,296 @@
+package hdsampler
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hdsampler/internal/core"
+	"hdsampler/internal/estimate"
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/history"
+)
+
+// Re-exported types so callers need only this package for common use.
+type (
+	// Schema describes a hidden database's searchable attributes.
+	Schema = hiddendb.Schema
+	// Attribute is one searchable field.
+	Attribute = hiddendb.Attribute
+	// Tuple is one sampled row.
+	Tuple = hiddendb.Tuple
+	// Query is a conjunction of equality predicates.
+	Query = hiddendb.Query
+	// Predicate is one equality constraint.
+	Predicate = hiddendb.Predicate
+	// Result is a query answer: top-k rows, overflow flag, optional count.
+	Result = hiddendb.Result
+	// Conn is the restricted interface connector samplers draw through.
+	Conn = formclient.Conn
+	// Sample is one accepted sample with provenance.
+	Sample = core.Sample
+	// Pipeline streams samples incrementally with a kill switch.
+	Pipeline = core.Pipeline
+	// Estimate is a point estimate with a standard error.
+	Estimate = estimate.Estimate
+	// Marginal is a sampled attribute histogram.
+	Marginal = estimate.Marginal
+)
+
+// Method selects the sampling algorithm.
+type Method int
+
+const (
+	// MethodRandomWalk is HIDDEN-DB-SAMPLER: the random drill-down with
+	// early termination and acceptance/rejection (the system's default).
+	MethodRandomWalk Method = iota
+	// MethodBruteForce probes uniformly random fully-specified queries —
+	// provably uniform, prohibitively slow; the validation baseline.
+	MethodBruteForce
+	// MethodCountWeighted drills down weighting branches by reported
+	// counts (requires a count-reporting interface).
+	MethodCountWeighted
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodRandomWalk:
+		return "random-walk"
+	case MethodBruteForce:
+		return "brute-force"
+	case MethodCountWeighted:
+		return "count-weighted"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Config tunes a Sampler.
+type Config struct {
+	// Method selects the algorithm; default MethodRandomWalk.
+	Method Method
+	// Seed drives all randomness; runs with equal seeds and connectors
+	// are reproducible.
+	Seed int64
+	// Slider is the demo's efficiency↔skew knob in [0,1]: 0 = lowest skew
+	// (most rejections), 1 = fastest (accept everything). Default 1.
+	Slider float64
+	// C, when positive, sets the rejection target reach probability
+	// directly, overriding Slider.
+	C float64
+	// K is the interface's top-k limit, used only to map Slider onto C;
+	// defaults to 1000 (Google Base's limit) when unknown.
+	K int
+	// Attrs restricts sampling to an attribute subset (schema indexes).
+	Attrs []int
+	// ShuffleOrder reshuffles the walk's attribute order per walk.
+	ShuffleOrder bool
+	// UseHistory interposes the query-history cache (memoization and
+	// inference) between the sampler and the connector.
+	UseHistory bool
+	// TrustCounts enables count-based history inference; enable only when
+	// the interface reports exact counts.
+	TrustCounts bool
+	// UseParentCount enables the count-weighted walker's sibling
+	// inference; meaningful only with MethodCountWeighted + exact counts.
+	UseParentCount bool
+	// AdaptiveQuantile, when in (0,1], replaces the fixed C with an
+	// adaptive rejector: a warmup phase observes candidate reaches and
+	// freezes C at this quantile, so no knowledge of the reach
+	// distribution is needed. Overrides Slider and C.
+	AdaptiveQuantile float64
+	// AdaptiveWarmup is the calibration candidate count (default 100).
+	AdaptiveWarmup int
+}
+
+// Stats summarizes a Draw call.
+type Stats struct {
+	// Candidates, Accepted, Rejected describe the rejection step.
+	Candidates int64
+	Accepted   int64
+	Rejected   int64
+	// Queries is the number of interface queries the generator issued;
+	// QueriesSaved the number answered by the history cache instead.
+	Queries      int64
+	QueriesSaved int64
+	Elapsed      time.Duration
+}
+
+// Sampler is the assembled system: connector (optionally wrapped in the
+// history cache), generator, and rejection processor.
+type Sampler struct {
+	conn   Conn
+	cache  *history.Cache
+	gen    core.Generator
+	rej    core.Acceptor
+	schema *Schema
+	cfg    Config
+}
+
+// New assembles a sampler over the connector.
+func New(ctx context.Context, conn Conn, cfg Config) (*Sampler, error) {
+	schema, err := conn.Schema(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sampler{conn: conn, schema: schema, cfg: cfg}
+	effective := conn
+	if cfg.UseHistory {
+		s.cache = history.New(conn, history.Options{TrustCounts: cfg.TrustCounts})
+		effective = s.cache
+	}
+	order := core.OrderFixed
+	if cfg.ShuffleOrder {
+		order = core.OrderShuffle
+	}
+	switch cfg.Method {
+	case MethodRandomWalk:
+		s.gen, err = core.NewWalker(ctx, effective, core.WalkerConfig{
+			Seed: cfg.Seed, Order: order, Attrs: cfg.Attrs,
+		})
+	case MethodBruteForce:
+		s.gen, err = core.NewBruteForce(ctx, effective, core.BruteForceConfig{
+			Seed: cfg.Seed, Attrs: cfg.Attrs,
+		})
+	case MethodCountWeighted:
+		s.gen, err = core.NewCountWalker(ctx, effective, core.CountWalkerConfig{
+			Seed: cfg.Seed, Order: order, Attrs: cfg.Attrs,
+			UseParentCount: cfg.UseParentCount,
+		})
+	default:
+		return nil, fmt.Errorf("hdsampler: unknown method %v", cfg.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Brute force is already uniform: no rejection. Otherwise use the
+	// adaptive rejector when requested, else derive C from the explicit
+	// value or the slider.
+	if cfg.Method != MethodBruteForce {
+		if cfg.AdaptiveQuantile > 0 {
+			s.rej = core.NewAdaptiveRejector(cfg.AdaptiveQuantile, cfg.AdaptiveWarmup, cfg.Seed+1)
+			return s, nil
+		}
+		c := cfg.C
+		if c <= 0 {
+			k := cfg.K
+			if k <= 0 {
+				k = 1000
+			}
+			slider := cfg.Slider
+			if slider == 0 && cfg.C == 0 {
+				// Zero-value Config means "fastest": the raw walk.
+				slider = 1
+			}
+			c = core.SliderC(schema, cfg.Attrs, k, slider)
+		}
+		if c < 1 {
+			s.rej = core.NewRejector(c, cfg.Seed+1)
+		}
+	}
+	return s, nil
+}
+
+// Schema returns the target database's discovered schema.
+func (s *Sampler) Schema() *Schema { return s.schema }
+
+// C returns the effective rejection target: 1 when accepting everything,
+// 0 while an adaptive rejector is still calibrating.
+func (s *Sampler) C() float64 {
+	switch r := s.rej.(type) {
+	case nil:
+		return 1
+	case *core.Rejector:
+		if r == nil {
+			return 1
+		}
+		return r.C
+	case *core.AdaptiveRejector:
+		return r.C()
+	default:
+		return 1
+	}
+}
+
+// Draw synchronously collects n accepted samples.
+func (s *Sampler) Draw(ctx context.Context, n int) ([]Tuple, Stats, error) {
+	tuples, cs, err := core.Collect(ctx, s.gen, s.rej, n)
+	st := Stats{
+		Candidates: cs.Candidates,
+		Accepted:   cs.Accepted,
+		Rejected:   cs.Rejected,
+		Queries:    cs.Queries,
+		Elapsed:    cs.Elapsed,
+	}
+	if s.cache != nil {
+		st.QueriesSaved = s.cache.CacheStats().Saved()
+	}
+	return tuples, st, err
+}
+
+// NewPipeline returns an incremental pipeline targeting n samples (0 = run
+// until the kill switch); read samples from Pipeline.Start.
+func (s *Sampler) NewPipeline(n int) *Pipeline {
+	return core.NewPipeline(s.gen, s.rej, core.PipelineConfig{Target: n})
+}
+
+// HistoryStats returns (saved, issued) query counts when UseHistory is on.
+func (s *Sampler) HistoryStats() (saved, issued int64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	cs := s.cache.CacheStats()
+	return cs.Saved(), cs.Issued
+}
+
+// Dial returns a connector that scrapes the HTML form interface rooted at
+// baseURL — the way HDSampler drove Google Base.
+func Dial(baseURL string) Conn {
+	return formclient.NewHTTP(baseURL, formclient.HTTPOptions{})
+}
+
+// DialWithClient is Dial with a custom *http.Client (timeouts, proxies,
+// test servers).
+func DialWithClient(baseURL string, client *http.Client) Conn {
+	return formclient.NewHTTP(baseURL, formclient.HTTPOptions{Client: client})
+}
+
+// DialAPI returns a connector using the site's machine-readable API
+// endpoints instead of HTML scraping.
+func DialAPI(baseURL string) Conn {
+	return formclient.NewAPI(baseURL, formclient.HTTPOptions{})
+}
+
+// LocalConn wraps an in-process hidden database as a connector (the demo's
+// "locally simulated hidden database" mode).
+func LocalConn(db *hiddendb.DB) Conn {
+	return formclient.NewLocal(db)
+}
+
+// Marginals computes per-attribute histograms of a sample set.
+func Marginals(schema *Schema, samples []Tuple) []Marginal {
+	return estimate.Marginals(schema, samples)
+}
+
+// CountEstimate estimates COUNT(*) WHERE pred given the population size.
+func CountEstimate(samples []Tuple, pred Query, population int) Estimate {
+	return estimate.Count(samples, pred, population)
+}
+
+// SumEstimate estimates SUM(attr) WHERE pred given the population size.
+func SumEstimate(samples []Tuple, pred Query, attr, population int) Estimate {
+	return estimate.Sum(samples, pred, attr, population)
+}
+
+// AvgEstimate estimates AVG(attr) WHERE pred.
+func AvgEstimate(samples []Tuple, pred Query, attr int) Estimate {
+	return estimate.Avg(samples, pred, attr)
+}
+
+// ProportionEstimate estimates the fraction of rows matching pred.
+func ProportionEstimate(samples []Tuple, pred Query) Estimate {
+	return estimate.Proportion(samples, pred)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Acceptor decides candidates' fates in the Sample Processor stage. A nil
+// Acceptor accepts everything.
+type Acceptor interface {
+	// Accept returns whether the candidate joins the final sample.
+	Accept(c *Candidate) bool
+}
+
+var _ Acceptor = (*Rejector)(nil)
+
+// AdaptiveRejector removes the slider's guesswork: instead of a target
+// reach probability C — which requires knowing the reach distribution —
+// the caller states which quantile of candidate reaches should be fully
+// accepted. A calibration phase observes (and discards) the first Warmup
+// candidates' reaches, freezes C at the requested quantile, and from then
+// on behaves exactly like a fixed Rejector. Freezing keeps the accepted
+// stream's selection probabilities well-defined: adapting C while
+// accepting would entangle earlier candidates' fates with later
+// observations.
+type AdaptiveRejector struct {
+	// Quantile in (0,1]: the fraction of the reach distribution to accept
+	// outright; lower values reject more and flatten harder.
+	Quantile float64
+	// Warmup is the number of calibration candidates (all rejected);
+	// defaults to 100 when <= 0 at first use.
+	Warmup int
+
+	rng      *rand.Rand
+	observed []float64
+	frozen   *Rejector
+}
+
+// NewAdaptiveRejector builds an adaptive processor targeting the given
+// reach quantile.
+func NewAdaptiveRejector(quantile float64, warmup int, seed int64) *AdaptiveRejector {
+	if quantile <= 0 || quantile > 1 {
+		quantile = 0.25
+	}
+	if warmup <= 0 {
+		warmup = 100
+	}
+	return &AdaptiveRejector{
+		Quantile: quantile,
+		Warmup:   warmup,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// C returns the frozen target reach, or 0 while still calibrating.
+func (r *AdaptiveRejector) C() float64 {
+	if r.frozen == nil {
+		return 0
+	}
+	return r.frozen.C
+}
+
+// Calibrating reports whether the warmup phase is still running.
+func (r *AdaptiveRejector) Calibrating() bool { return r.frozen == nil }
+
+// Accept implements Acceptor. Warmup candidates are rejected (they only
+// feed calibration); afterwards acceptance is min(1, C/reach) with the
+// frozen C.
+func (r *AdaptiveRejector) Accept(c *Candidate) bool {
+	if r == nil {
+		return true
+	}
+	if r.frozen == nil {
+		r.observed = append(r.observed, c.Reach)
+		if len(r.observed) >= r.Warmup {
+			sort.Float64s(r.observed)
+			idx := int(float64(len(r.observed)) * r.Quantile)
+			if idx >= len(r.observed) {
+				idx = len(r.observed) - 1
+			}
+			r.frozen = NewRejector(r.observed[idx], r.rng.Int63())
+			r.observed = nil
+		}
+		return false
+	}
+	return r.frozen.Accept(c)
+}
+
+// Counts returns post-warmup acceptance counters.
+func (r *AdaptiveRejector) Counts() (accepted, rejected int64) {
+	if r == nil || r.frozen == nil {
+		return 0, 0
+	}
+	return r.frozen.Counts()
+}

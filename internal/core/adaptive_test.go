@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hdsampler/internal/formclient"
+)
+
+func TestAdaptiveRejectorCalibratesToUniform(t *testing.T) {
+	// On the Figure 1 database the reach distribution is {1/4, 1/8, 1/8,
+	// 1/2} with observation probabilities {1/4, 1/4, 1/2}: the bottom
+	// quartile of observed reaches is 1/8 — exactly the uniformizing C.
+	db := fig1DB(t, 1)
+	ctx := context.Background()
+	w, err := NewWalker(ctx, formclient.NewLocal(db), WalkerConfig{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rej := NewAdaptiveRejector(0.25, 400, 32)
+	if !rej.Calibrating() || rej.C() != 0 {
+		t.Fatal("should start calibrating")
+	}
+	samples, stats, err := Collect(ctx, w, rej, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej.Calibrating() {
+		t.Fatal("still calibrating after collection")
+	}
+	if math.Abs(rej.C()-0.125) > 1e-12 {
+		t.Fatalf("frozen C = %g, want 0.125", rej.C())
+	}
+	counts := make(map[int]int)
+	for _, tu := range samples {
+		counts[tu.ID]++
+	}
+	for id := 0; id < 4; id++ {
+		got := float64(counts[id]) / float64(len(samples))
+		if math.Abs(got-0.25) > 0.04 {
+			t.Errorf("tuple %d frequency %g, want 0.25", id, got)
+		}
+	}
+	// Warmup candidates were all rejected.
+	if stats.Rejected < 400 {
+		t.Errorf("rejected = %d, want >= warmup 400", stats.Rejected)
+	}
+	acc, _ := rej.Counts()
+	if acc != 1500 {
+		t.Errorf("post-warmup accepted = %d, want 1500", acc)
+	}
+}
+
+func TestAdaptiveRejectorDefaults(t *testing.T) {
+	r := NewAdaptiveRejector(0, 0, 1)
+	if r.Quantile != 0.25 || r.Warmup != 100 {
+		t.Fatalf("defaults = %+v", r)
+	}
+	r2 := NewAdaptiveRejector(2, 0, 1)
+	if r2.Quantile != 0.25 {
+		t.Fatalf("out-of-range quantile not defaulted: %g", r2.Quantile)
+	}
+	var nilRej *AdaptiveRejector
+	if !nilRej.Accept(&Candidate{Reach: 0.5}) {
+		t.Error("nil adaptive rejector must accept")
+	}
+	if a, rj := nilRej.Counts(); a != 0 || rj != 0 {
+		t.Error("nil counts should be zero")
+	}
+}
+
+func TestAdaptiveRejectorQuantileOne(t *testing.T) {
+	// Quantile 1 freezes C at the maximum observed reach: everything at or
+	// below it is accepted.
+	db := fig1DB(t, 1)
+	ctx := context.Background()
+	w, err := NewWalker(ctx, formclient.NewLocal(db), WalkerConfig{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rej := NewAdaptiveRejector(1, 50, 34)
+	if _, _, err := Collect(ctx, w, rej, 100); err != nil {
+		t.Fatal(err)
+	}
+	if rej.C() != 0.5 {
+		t.Fatalf("C = %g, want max reach 0.5", rej.C())
+	}
+	acc, rejd := rej.Counts()
+	if rejd != 0 || acc != 100 {
+		t.Fatalf("post-warmup accept/reject = %d/%d, want 100/0", acc, rejd)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+)
+
+// failConn fails Schema, exercising every constructor's error path.
+type failConn struct{}
+
+func (failConn) Schema(context.Context) (*hiddendb.Schema, error) {
+	return nil, errors.New("boom")
+}
+func (failConn) Execute(context.Context, hiddendb.Query) (*hiddendb.Result, error) {
+	return nil, errors.New("boom")
+}
+func (failConn) Stats() formclient.Stats { return formclient.Stats{} }
+
+func TestConstructorsPropagateSchemaError(t *testing.T) {
+	ctx := context.Background()
+	if _, err := NewWalker(ctx, failConn{}, WalkerConfig{}); err == nil {
+		t.Error("NewWalker swallowed schema error")
+	}
+	if _, err := NewBruteForce(ctx, failConn{}, BruteForceConfig{}); err == nil {
+		t.Error("NewBruteForce swallowed schema error")
+	}
+	if _, err := NewCountWalker(ctx, failConn{}, CountWalkerConfig{}); err == nil {
+		t.Error("NewCountWalker swallowed schema error")
+	}
+	if _, err := NewCrawler(ctx, failConn{}, CrawlerConfig{}); err == nil {
+		t.Error("NewCrawler swallowed schema error")
+	}
+}
+
+func TestConstructorsRejectBadAttrs(t *testing.T) {
+	db := fig1DB(t, 1)
+	conn := formclient.NewLocal(db)
+	ctx := context.Background()
+	bad := []int{0, 0}
+	if _, err := NewWalker(ctx, conn, WalkerConfig{Attrs: bad}); err == nil {
+		t.Error("NewWalker accepted duplicate attrs")
+	}
+	if _, err := NewBruteForce(ctx, conn, BruteForceConfig{Attrs: bad}); err == nil {
+		t.Error("NewBruteForce accepted duplicate attrs")
+	}
+	if _, err := NewCountWalker(ctx, conn, CountWalkerConfig{Attrs: bad}); err == nil {
+		t.Error("NewCountWalker accepted duplicate attrs")
+	}
+	if _, err := NewCrawler(ctx, conn, CrawlerConfig{Attrs: []int{7}}); err == nil {
+		t.Error("NewCrawler accepted out-of-range attrs")
+	}
+}
+
+func TestWalkerSchemaAccessorAndExecuteError(t *testing.T) {
+	// Exhaust a query budget mid-walk: the generator surfaces the error.
+	s := hiddendb.MustSchema("s", hiddendb.BoolAttr("a"), hiddendb.BoolAttr("b"))
+	tuples := make([]hiddendb.Tuple, 20)
+	for i := range tuples {
+		tuples[i] = hiddendb.Tuple{Vals: []int{i % 2, (i / 2) % 2}}
+	}
+	db, err := hiddendb.New(s, tuples, nil, hiddendb.Config{K: 2, QueryBudget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w, err := NewWalker(ctx, formclient.NewLocal(db), WalkerConfig{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Schema().Equal(db.Schema()) {
+		t.Error("Schema accessor wrong")
+	}
+	sawBudget := false
+	for i := 0; i < 10 && !sawBudget; i++ {
+		if _, err := w.Candidate(ctx); errors.Is(err, hiddendb.ErrBudgetExhausted) {
+			sawBudget = true
+		}
+	}
+	if !sawBudget {
+		t.Error("budget exhaustion never surfaced")
+	}
+}
+
+func TestCountWalkerExecuteErrorMidProbe(t *testing.T) {
+	s := hiddendb.MustSchema("s", hiddendb.CatAttr("a", "0", "1", "2"), hiddendb.BoolAttr("b"))
+	tuples := make([]hiddendb.Tuple, 30)
+	for i := range tuples {
+		tuples[i] = hiddendb.Tuple{Vals: []int{i % 3, i % 2}}
+	}
+	db, err := hiddendb.New(s, tuples, nil,
+		hiddendb.Config{K: 2, CountMode: hiddendb.CountExact, QueryBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cw, err := NewCountWalker(ctx, formclient.NewLocal(db), CountWalkerConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.Candidate(ctx); !errors.Is(err, hiddendb.ErrBudgetExhausted) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+}
+
+func TestRejectorCountsAfterMix(t *testing.T) {
+	r := NewRejector(0.5, 43)
+	r.Accept(&Candidate{Reach: 0.1}) // below C: always accepted
+	r.Accept(&Candidate{Reach: 1})   // accepted w.p. 0.5
+	acc, rej := r.Counts()
+	if acc+rej != 2 || acc < 1 {
+		t.Fatalf("counts = %d,%d", acc, rej)
+	}
+}
+
+func TestSliderCWithBadAttrsFallsBack(t *testing.T) {
+	s := hiddendb.MustSchema("s", hiddendb.BoolAttr("a"), hiddendb.BoolAttr("b"))
+	// Invalid scope falls back to the full attribute set rather than
+	// panicking (defensive: the slider is UI-driven).
+	c := SliderC(s, []int{9, 9}, 10, 0)
+	want := SliderC(s, nil, 10, 0)
+	if c != want {
+		t.Fatalf("fallback C = %g, want %g", c, want)
+	}
+	if SliderC(s, nil, 0, 0) != SliderC(s, nil, 1, 0) {
+		t.Error("k<1 should clamp to 1")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// Sample is one accepted sample with its provenance.
+type Sample struct {
+	Tuple hiddendb.Tuple
+	// Reach is the candidate's reach probability (before rejection).
+	Reach float64
+	// Queries is the number of interface queries the producing draw cost.
+	Queries int
+}
+
+// Progress is a point-in-time snapshot of a running pipeline, the numbers
+// the demo's front end displays while sampling is underway.
+type Progress struct {
+	Candidates int64
+	Accepted   int64
+	Rejected   int64
+	// Queries is the generator's cumulative interface query count.
+	Queries int64
+	Elapsed time.Duration
+	// Done reports that the pipeline has stopped (target reached, error,
+	// or kill switch).
+	Done bool
+	// Err is the terminal error, if any (nil on clean completion).
+	Err error
+}
+
+// PipelineConfig tunes a pipeline run.
+type PipelineConfig struct {
+	// Target is the number of accepted samples to collect; 0 runs until
+	// the kill switch (Stop) or context cancellation.
+	Target int
+	// Buffer is the output channel capacity; defaults to 16.
+	Buffer int
+}
+
+// Pipeline wires a Generator to a Rejector and streams accepted samples —
+// the demo's incremental Sample Generator → Sample Processor → Output
+// Module loop (Figure 2). Consumers read from Samples; the kill switch is
+// Stop or context cancellation. After Samples closes, Err reports the
+// terminal error.
+type Pipeline struct {
+	gen Generator
+	rej Acceptor
+	cfg PipelineConfig
+
+	samples chan Sample
+	cancel  context.CancelFunc
+
+	candidates atomic.Int64
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	start      time.Time
+	done       atomic.Bool
+	err        atomic.Value // error
+}
+
+// NewPipeline builds a pipeline; rej may be nil to accept every candidate.
+func NewPipeline(gen Generator, rej Acceptor, cfg PipelineConfig) *Pipeline {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 16
+	}
+	return &Pipeline{gen: gen, rej: rej, cfg: cfg}
+}
+
+// Start launches the pipeline and returns the sample stream. It may be
+// called once.
+func (p *Pipeline) Start(ctx context.Context) <-chan Sample {
+	ctx, p.cancel = context.WithCancel(ctx)
+	p.samples = make(chan Sample, p.cfg.Buffer)
+	p.start = time.Now()
+
+	// The generator is not concurrency-safe, so candidates are produced in
+	// a single goroutine; the processor stage runs in a second goroutine,
+	// mirroring the demo's module split.
+	candidates := make(chan *Candidate, p.cfg.Buffer)
+	go func() {
+		defer close(candidates)
+		for ctx.Err() == nil {
+			cand, err := p.gen.Candidate(ctx)
+			if err != nil {
+				if ctx.Err() == nil {
+					p.err.Store(err)
+				}
+				return
+			}
+			p.candidates.Add(1)
+			select {
+			case candidates <- cand:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		defer func() {
+			p.done.Store(true)
+			p.cancel()
+			close(p.samples)
+		}()
+		for cand := range candidates {
+			if p.rej != nil && !p.rej.Accept(cand) {
+				p.rejected.Add(1)
+				continue
+			}
+			p.accepted.Add(1)
+			s := Sample{Tuple: cand.Tuple, Reach: cand.Reach, Queries: cand.Queries}
+			select {
+			case p.samples <- s:
+			case <-ctx.Done():
+				return
+			}
+			if p.cfg.Target > 0 && p.accepted.Load() >= int64(p.cfg.Target) {
+				return
+			}
+		}
+	}()
+	return p.samples
+}
+
+// Stop is the kill switch: it halts sampling; the Samples channel closes
+// shortly after. Safe to call repeatedly and before Start completes a
+// sample.
+func (p *Pipeline) Stop() {
+	if p.cancel != nil {
+		p.cancel()
+	}
+}
+
+// Err returns the terminal error after the sample stream closes, or nil.
+func (p *Pipeline) Err() error {
+	if e, ok := p.err.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// Progress returns a live snapshot.
+func (p *Pipeline) Progress() Progress {
+	pr := Progress{
+		Candidates: p.candidates.Load(),
+		Accepted:   p.accepted.Load(),
+		Rejected:   p.rejected.Load(),
+		Queries:    p.gen.GenStats().Queries,
+		Done:       p.done.Load(),
+		Err:        p.Err(),
+	}
+	if !p.start.IsZero() {
+		pr.Elapsed = time.Since(p.start)
+	}
+	return pr
+}
+
+// CollectStats summarizes a synchronous Collect run.
+type CollectStats struct {
+	Candidates int64
+	Accepted   int64
+	Rejected   int64
+	Queries    int64
+	Elapsed    time.Duration
+}
+
+// Collect synchronously draws n accepted samples, a convenience wrapper
+// over the pipeline for programmatic use.
+func Collect(ctx context.Context, gen Generator, rej Acceptor, n int) ([]hiddendb.Tuple, CollectStats, error) {
+	startQueries := gen.GenStats().Queries
+	start := time.Now()
+	var stats CollectStats
+	out := make([]hiddendb.Tuple, 0, n)
+	for len(out) < n {
+		if err := ctx.Err(); err != nil {
+			return out, stats, err
+		}
+		cand, err := gen.Candidate(ctx)
+		if err != nil {
+			stats.Queries = gen.GenStats().Queries - startQueries
+			stats.Elapsed = time.Since(start)
+			return out, stats, err
+		}
+		stats.Candidates++
+		if rej != nil && !rej.Accept(cand) {
+			stats.Rejected++
+			continue
+		}
+		stats.Accepted++
+		out = append(out, cand.Tuple)
+	}
+	stats.Queries = gen.GenStats().Queries - startQueries
+	stats.Elapsed = time.Since(start)
+	return out, stats, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// Rejector is the Sample Processor of the demo's architecture: it applies
+// acceptance/rejection to candidate samples so that every tuple's final
+// selection probability is min(reach, C). C — the target reach
+// probability — is the efficiency↔skew knob:
+//
+//   - C below every tuple's reach probability yields provably uniform
+//     samples at the price of many rejections;
+//   - C = 1 accepts every candidate, keeping the walk's raw skew but
+//     wasting no queries.
+//
+// The demo exposes this choice as a slider (§3.1); SliderC maps the slider
+// position onto C.
+type Rejector struct {
+	// C is the target reach probability.
+	C   float64
+	rng *rand.Rand
+
+	accepted int64
+	rejected int64
+}
+
+// NewRejector builds a processor with the given target reach probability.
+// C <= 0 or C >= 1 accepts everything.
+func NewRejector(c float64, seed int64) *Rejector {
+	return &Rejector{C: c, rng: rand.New(rand.NewSource(seed))}
+}
+
+// AcceptProb returns the probability with which a candidate of the given
+// reach is accepted: min(1, C/reach).
+func (r *Rejector) AcceptProb(reach float64) float64 {
+	if r == nil || r.C <= 0 || r.C >= 1 {
+		return 1
+	}
+	if reach <= 0 {
+		return 0
+	}
+	return math.Min(1, r.C/reach)
+}
+
+// Accept decides one candidate's fate. A nil Rejector accepts everything
+// (the brute-force path, whose candidates are already uniform).
+func (r *Rejector) Accept(c *Candidate) bool {
+	if r == nil {
+		return true
+	}
+	p := r.AcceptProb(c.Reach)
+	ok := p >= 1 || r.rng.Float64() < p
+	if ok {
+		r.accepted++
+	} else {
+		r.rejected++
+	}
+	return ok
+}
+
+// Counts returns how many candidates were accepted and rejected.
+func (r *Rejector) Counts() (accepted, rejected int64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.accepted, r.rejected
+}
+
+// SliderC maps the demo's efficiency↔skew slider position s ∈ [0,1] onto a
+// target reach probability, log-linearly between the conservative uniform
+// bound 1/(|space|·k) (s = 0: lowest skew, most rejections) and 1 (s = 1:
+// highest efficiency, no rejections). attrs may be nil for the full
+// attribute set.
+func SliderC(schema *hiddendb.Schema, attrs []int, k int, s float64) float64 {
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	scoped, err := resolveAttrs(schema, attrs)
+	if err != nil {
+		scoped = nil
+		for i := 0; i < schema.NumAttrs(); i++ {
+			scoped = append(scoped, i)
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	space := subspaceSize(schema, scoped)
+	logCmin := -math.Log(space * float64(k))
+	return math.Exp(logCmin * (1 - s))
+}

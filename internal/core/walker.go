@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+)
+
+// Order selects how the random walk orders attributes.
+type Order int
+
+const (
+	// OrderFixed walks attributes in schema order every time.
+	OrderFixed Order = iota
+	// OrderShuffle reshuffles the attribute order before every walk — the
+	// SIGMOD 2007 paper's variance reducer: a tuple unlucky under one
+	// order is reachable earlier under another, flattening the reach
+	// distribution.
+	OrderShuffle
+)
+
+// String names the order mode.
+func (o Order) String() string {
+	if o == OrderShuffle {
+		return "shuffle"
+	}
+	return "fixed"
+}
+
+// WalkerConfig tunes the HIDDEN-DB-SAMPLER generator.
+type WalkerConfig struct {
+	// Seed drives all of the walker's randomness.
+	Seed int64
+	// Order selects fixed or per-walk shuffled attribute order.
+	Order Order
+	// Attrs optionally restricts the walk to an attribute subset
+	// (sampling "the whole dataset or a specific selection of attributes",
+	// demo §3.1). Empty means all attributes.
+	Attrs []int
+	// MaxRestarts bounds dead-end walks per candidate; 0 means 100000.
+	MaxRestarts int
+}
+
+// Walker implements HIDDEN-DB-SAMPLER: a random drill-down from broad,
+// overflowing queries toward the first non-overflowing (valid) query,
+// picking one returned row uniformly. Candidates carry their exact reach
+// probability for the downstream acceptance/rejection step.
+type Walker struct {
+	conn   formclient.Conn
+	schema *hiddendb.Schema
+	cfg    WalkerConfig
+	attrs  []int
+	rng    *rand.Rand
+	stats  genCounters
+}
+
+// NewWalker builds a walker over conn, fetching the schema eagerly.
+func NewWalker(ctx context.Context, conn formclient.Conn, cfg WalkerConfig) (*Walker, error) {
+	schema, err := conn.Schema(ctx)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := resolveAttrs(schema, cfg.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 100000
+	}
+	return &Walker{
+		conn:   conn,
+		schema: schema,
+		cfg:    cfg,
+		attrs:  attrs,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Schema returns the schema the walker operates over.
+func (w *Walker) Schema() *hiddendb.Schema { return w.schema }
+
+// GenStats implements Generator.
+func (w *Walker) GenStats() GenStats { return w.stats.snapshot() }
+
+// Candidate implements Generator: it repeats random walks until one yields
+// a candidate.
+func (w *Walker) Candidate(ctx context.Context) (*Candidate, error) {
+	restarts := 0
+	queries := 0
+	for restarts < w.cfg.MaxRestarts {
+		cand, q, err := w.walkOnce(ctx)
+		queries += q
+		if err != nil {
+			return nil, err
+		}
+		if cand != nil {
+			cand.Queries = queries
+			cand.Restarts = restarts
+			w.stats.candidates.Add(1)
+			return cand, nil
+		}
+		restarts++
+		w.stats.restarts.Add(1)
+	}
+	return nil, ErrNoCandidate
+}
+
+// walkOnce performs one drill-down. It returns (nil, queries, nil) on a
+// dead end.
+func (w *Walker) walkOnce(ctx context.Context) (*Candidate, int, error) {
+	w.stats.walks.Add(1)
+	order := w.attrs
+	if w.cfg.Order == OrderShuffle {
+		order = make([]int, len(w.attrs))
+		copy(order, w.attrs)
+		w.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	q := hiddendb.EmptyQuery()
+	pathProb := 1.0
+	queries := 0
+	for depth, attr := range order {
+		dom := w.schema.DomainSize(attr)
+		v := w.rng.Intn(dom)
+		q = q.With(attr, v)
+		pathProb /= float64(dom)
+
+		res, err := w.conn.Execute(ctx, q)
+		if err != nil {
+			return nil, queries, err
+		}
+		queries++
+		w.stats.queries.Add(1)
+
+		switch {
+		case res.Empty():
+			return nil, queries, nil // dead end: restart
+		case res.Valid():
+			return w.pick(res, pathProb, depth+1), queries, nil
+		case depth == len(order)-1:
+			// Fully specified yet still overflowing: the matches are
+			// duplicates beyond k. Only the top-k rows are visible through
+			// the interface; pick uniformly among them. Reach stays exact:
+			// it is the probability of emitting this visible row. A
+			// row-less overflow page (some sites or caches omit rows)
+			// leaves nothing to pick: restart.
+			if len(res.Tuples) == 0 {
+				return nil, queries, nil
+			}
+			return w.pick(res, pathProb, depth+1), queries, nil
+		}
+		// Overflow: extend the query with the next attribute.
+	}
+	return nil, queries, nil // unreachable: loop always returns
+}
+
+// pick selects one returned row uniformly and packages the candidate.
+func (w *Walker) pick(res *hiddendb.Result, pathProb float64, depth int) *Candidate {
+	idx := w.rng.Intn(len(res.Tuples))
+	return &Candidate{
+		Tuple: res.Tuples[idx].Clone(),
+		Reach: pathProb / float64(len(res.Tuples)),
+		Depth: depth,
+	}
+}
+
+var _ Generator = (*Walker)(nil)

@@ -1,0 +1,234 @@
+package datagen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// CSVOptions tunes FromCSV's schema inference.
+type CSVOptions struct {
+	// Name is the schema name; defaults to "csv".
+	Name string
+	// NumericBuckets is the bucket count for numeric columns (quantile
+	// cuts); defaults to 8.
+	NumericBuckets int
+	// MaxCategorical rejects categorical columns with more distinct values
+	// than this (likely free text); defaults to 200.
+	MaxCategorical int
+}
+
+// FromCSV builds a Dataset from a CSV file with a header row, inferring
+// each column's attribute kind the way a wrapper author would: columns
+// whose every value parses as a number become numeric attributes bucketed
+// at empirical quantiles (raw values kept as payloads); columns with only
+// "true"/"false" become boolean; everything else becomes categorical with
+// values in first-appearance order. Constant columns (a single distinct
+// value) are skipped — a web form select with one option is not a
+// searchable attribute — and reported in skipped.
+//
+// This is how cmd/hiddendbd serves real user data behind the simulated
+// web form interface.
+func FromCSV(r io.Reader, opts CSVOptions) (ds *Dataset, skipped []string, err error) {
+	if opts.Name == "" {
+		opts.Name = "csv"
+	}
+	if opts.NumericBuckets <= 0 {
+		opts.NumericBuckets = 8
+	}
+	if opts.MaxCategorical <= 0 {
+		opts.MaxCategorical = 200
+	}
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("datagen: reading CSV header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, nil, fmt.Errorf("datagen: empty CSV header")
+	}
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("datagen: reading CSV rows: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil, fmt.Errorf("datagen: CSV has no data rows")
+	}
+
+	type column struct {
+		name    string
+		kind    hiddendb.Kind
+		labels  []string       // categorical/bool
+		index   map[string]int // label -> value index
+		numbers []float64      // numeric raw values per row
+		attr    hiddendb.Attribute
+	}
+	var cols []*column
+	for c, name := range header {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			name = fmt.Sprintf("col%d", c)
+		}
+		col := &column{name: name}
+		distinct := map[string]bool{}
+		allNumeric, allBool := true, true
+		for _, rec := range records {
+			if c >= len(rec) {
+				return nil, nil, fmt.Errorf("datagen: ragged CSV row (column %q missing)", name)
+			}
+			v := strings.TrimSpace(rec[c])
+			distinct[v] = true
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				allNumeric = false
+			}
+			if v != "true" && v != "false" {
+				allBool = false
+			}
+		}
+		switch {
+		case len(distinct) < 2:
+			skipped = append(skipped, name)
+			continue
+		case allBool:
+			col.kind = hiddendb.KindBool
+			col.attr = hiddendb.BoolAttr(name)
+			col.index = map[string]int{"false": 0, "true": 1}
+		case allNumeric:
+			col.kind = hiddendb.KindNumeric
+			col.numbers = make([]float64, len(records))
+			for i, rec := range records {
+				col.numbers[i], _ = strconv.ParseFloat(strings.TrimSpace(rec[c]), 64)
+			}
+			attr, ok := quantileAttr(name, col.numbers, opts.NumericBuckets)
+			if ok {
+				col.attr = attr
+				break
+			}
+			// Too few distinct values for range buckets: expose the column
+			// as categorical instead (e.g. a numeric "doors" column with
+			// values 2 and 4).
+			col.kind = hiddendb.KindCategorical
+			col.numbers = nil
+			col.index = map[string]int{}
+			for _, rec := range records {
+				v := strings.TrimSpace(rec[c])
+				if _, ok := col.index[v]; !ok {
+					col.index[v] = len(col.labels)
+					col.labels = append(col.labels, v)
+				}
+			}
+			col.attr = hiddendb.CatAttr(name, col.labels...)
+		default:
+			if len(distinct) > opts.MaxCategorical {
+				return nil, nil, fmt.Errorf("datagen: column %q has %d distinct values (max %d); likely free text",
+					name, len(distinct), opts.MaxCategorical)
+			}
+			col.kind = hiddendb.KindCategorical
+			col.index = map[string]int{}
+			for _, rec := range records {
+				v := strings.TrimSpace(rec[c])
+				if _, ok := col.index[v]; !ok {
+					col.index[v] = len(col.labels)
+					col.labels = append(col.labels, v)
+				}
+			}
+			col.attr = hiddendb.CatAttr(name, col.labels...)
+		}
+		cols = append(cols, col)
+	}
+	if len(cols) == 0 {
+		return nil, nil, fmt.Errorf("datagen: no usable columns in CSV")
+	}
+
+	attrs := make([]hiddendb.Attribute, len(cols))
+	for i, col := range cols {
+		attrs[i] = col.attr
+	}
+	schema, err := hiddendb.NewSchema(opts.Name, attrs...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("datagen: inferred schema invalid: %w", err)
+	}
+
+	tuples := make([]hiddendb.Tuple, len(records))
+	for i, rec := range records {
+		vals := make([]int, len(cols))
+		var nums []float64
+		for a, col := range cols {
+			origIdx := indexOfHeader(header, col.name)
+			v := strings.TrimSpace(rec[origIdx])
+			switch col.kind {
+			case hiddendb.KindNumeric:
+				x := col.numbers[i]
+				b := col.attr.BucketOf(x)
+				if b < 0 {
+					return nil, nil, fmt.Errorf("datagen: row %d: value %g outside inferred buckets of %q", i, x, col.name)
+				}
+				vals[a] = b
+				if nums == nil {
+					nums = make([]float64, len(cols))
+					for j := range nums {
+						nums[j] = math.NaN()
+					}
+				}
+				nums[a] = x
+			default:
+				idx, ok := col.index[v]
+				if !ok {
+					return nil, nil, fmt.Errorf("datagen: row %d: unexpected value %q in column %q", i, v, col.name)
+				}
+				vals[a] = idx
+			}
+		}
+		tuples[i] = hiddendb.Tuple{Vals: vals, Nums: nums}
+	}
+	return &Dataset{Schema: schema, Tuples: tuples}, skipped, nil
+}
+
+// indexOfHeader finds the original CSV column for a (trimmed, defaulted)
+// attribute name.
+func indexOfHeader(header []string, name string) int {
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			h = fmt.Sprintf("col%d", i)
+		}
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// quantileAttr buckets a numeric column at empirical quantiles, returning
+// ok=false when fewer than two distinct buckets survive (near-constant
+// column).
+func quantileAttr(name string, values []float64, buckets int) (hiddendb.Attribute, bool) {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo == hi {
+		return hiddendb.Attribute{}, false
+	}
+	cuts := []float64{lo}
+	for b := 1; b < buckets; b++ {
+		q := sorted[len(sorted)*b/buckets]
+		if q > cuts[len(cuts)-1] && q < hi {
+			cuts = append(cuts, q)
+		}
+	}
+	// The last bucket must include the maximum; extend past it slightly so
+	// the half-open [lo,hi) convention still contains every value.
+	cuts = append(cuts, math.Nextafter(hi, math.Inf(1)))
+	if len(cuts) < 3 {
+		// One bucket only: not searchable.
+		return hiddendb.Attribute{}, false
+	}
+	return hiddendb.NumAttr(name, cuts...), true
+}

@@ -1,0 +1,154 @@
+// Package datagen produces the seeded synthetic datasets the experiments
+// run against: i.i.d. and correlated boolean databases (the shapes the
+// HIDDEN-DB-SAMPLER paper analyses), Zipfian categorical databases, and a
+// Google-Base-like Vehicles database that stands in for the demo's live
+// data source. All generators are deterministic given their seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// Dataset bundles a generated schema with its tuples, ready for
+// hiddendb.New or for serving through the web form.
+type Dataset struct {
+	Schema *hiddendb.Schema
+	Tuples []hiddendb.Tuple
+}
+
+// IIDBoolean generates n tuples over m boolean attributes where each
+// attribute is independently true with probability p.
+func IIDBoolean(m, n int, p float64, seed int64) *Dataset {
+	if m < 1 || n < 1 {
+		panic(fmt.Sprintf("datagen: invalid boolean shape m=%d n=%d", m, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := make([]hiddendb.Attribute, m)
+	for i := range attrs {
+		attrs[i] = hiddendb.BoolAttr(fmt.Sprintf("a%d", i+1))
+	}
+	schema := hiddendb.MustSchema(fmt.Sprintf("bool-iid-m%d", m), attrs...)
+	tuples := make([]hiddendb.Tuple, n)
+	for i := range tuples {
+		vals := make([]int, m)
+		for j := range vals {
+			if rng.Float64() < p {
+				vals[j] = 1
+			}
+		}
+		tuples[i] = hiddendb.Tuple{Vals: vals}
+	}
+	return &Dataset{Schema: schema, Tuples: tuples}
+}
+
+// CorrelatedBoolean generates n tuples over m boolean attributes with a
+// Markov dependency along the attribute order: attribute j repeats
+// attribute j-1's value with probability corr and resamples uniformly
+// otherwise. corr = 0 reduces to IIDBoolean with p = 0.5; corr close to 1
+// produces long runs, the clustered shape that stresses random walks.
+func CorrelatedBoolean(m, n int, corr float64, seed int64) *Dataset {
+	if corr < 0 || corr > 1 {
+		panic(fmt.Sprintf("datagen: corr %g outside [0,1]", corr))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := make([]hiddendb.Attribute, m)
+	for i := range attrs {
+		attrs[i] = hiddendb.BoolAttr(fmt.Sprintf("a%d", i+1))
+	}
+	schema := hiddendb.MustSchema(fmt.Sprintf("bool-corr-m%d", m), attrs...)
+	tuples := make([]hiddendb.Tuple, n)
+	for i := range tuples {
+		vals := make([]int, m)
+		vals[0] = rng.Intn(2)
+		for j := 1; j < m; j++ {
+			if rng.Float64() < corr {
+				vals[j] = vals[j-1]
+			} else {
+				vals[j] = rng.Intn(2)
+			}
+		}
+		tuples[i] = hiddendb.Tuple{Vals: vals}
+	}
+	return &Dataset{Schema: schema, Tuples: tuples}
+}
+
+// ZipfCategorical generates n tuples over categorical attributes with the
+// given domain sizes; within each attribute, value v is drawn with
+// probability proportional to 1/(v+1)^s. s = 0 is uniform; larger s is more
+// skewed, concentrating mass on early values — the marginal-histogram shape
+// the demo's Figure 4 displays.
+func ZipfCategorical(domSizes []int, n int, s float64, seed int64) *Dataset {
+	if len(domSizes) == 0 || n < 1 {
+		panic("datagen: empty shape for ZipfCategorical")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := make([]hiddendb.Attribute, len(domSizes))
+	samplers := make([]*weighted, len(domSizes))
+	for i, d := range domSizes {
+		if d < 2 {
+			panic(fmt.Sprintf("datagen: domain size %d < 2", d))
+		}
+		values := make([]string, d)
+		w := make([]float64, d)
+		for v := 0; v < d; v++ {
+			values[v] = fmt.Sprintf("v%d", v)
+			w[v] = 1 / math.Pow(float64(v+1), s)
+		}
+		attrs[i] = hiddendb.CatAttr(fmt.Sprintf("a%d", i+1), values...)
+		samplers[i] = newWeighted(w)
+	}
+	schema := hiddendb.MustSchema(fmt.Sprintf("zipf-s%.2g", s), attrs...)
+	tuples := make([]hiddendb.Tuple, n)
+	for i := range tuples {
+		vals := make([]int, len(domSizes))
+		for j := range vals {
+			vals[j] = samplers[j].draw(rng)
+		}
+		tuples[i] = hiddendb.Tuple{Vals: vals}
+	}
+	return &Dataset{Schema: schema, Tuples: tuples}
+}
+
+// weighted draws indices with probability proportional to fixed weights
+// via inverse-CDF sampling.
+type weighted struct {
+	cum []float64
+}
+
+func newWeighted(w []float64) *weighted {
+	cum := make([]float64, len(w))
+	total := 0.0
+	for i, x := range w {
+		if x < 0 {
+			panic("datagen: negative weight")
+		}
+		total += x
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("datagen: zero total weight")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[len(cum)-1] = 1 // guard against FP drift
+	return &weighted{cum: cum}
+}
+
+func (w *weighted) draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// Attribute positions in the Jobs schema.
+const (
+	JobAttrCategory = iota
+	JobAttrSeniority
+	JobAttrLocation
+	JobAttrSalary
+	JobAttrExperience
+	JobAttrType
+	JobAttrRemote
+	JobAttrEducation
+	jobNumAttrs
+)
+
+var jobCategories = []string{
+	"software", "data", "finance", "healthcare", "sales", "marketing",
+	"operations", "design", "legal", "education", "manufacturing", "hospitality",
+}
+var jobCategoryWeights = []float64{14, 8, 10, 12, 11, 8, 9, 5, 4, 7, 7, 5}
+
+var jobLocations = []string{
+	"new-york", "san-francisco", "chicago", "austin", "seattle", "boston",
+	"atlanta", "denver", "miami", "portland", "phoenix", "nashville",
+	"columbus", "raleigh", "salt-lake-city", "remote-usa",
+}
+
+// JobsSchema returns the schema of a simulated careers site — the shape of
+// MSN Career, whose k = 4000 limit the paper lists. Eight searchable
+// attributes; salary and experience are numeric with raw payloads.
+func JobsSchema() *hiddendb.Schema {
+	return hiddendb.MustSchema("jobs",
+		hiddendb.CatAttr("category", jobCategories...),
+		hiddendb.CatAttr("seniority", "intern", "junior", "mid", "senior", "lead", "executive"),
+		hiddendb.CatAttr("location", jobLocations...),
+		hiddendb.NumAttr("salary", 0, 40000, 60000, 85000, 120000, 170000, 250000, 500000),
+		hiddendb.NumAttr("experience", 0, 1, 3, 6, 10, 40),
+		hiddendb.CatAttr("type", "full-time", "part-time", "contract"),
+		hiddendb.BoolAttr("remote"),
+		hiddendb.CatAttr("education", "none", "bachelors", "masters", "phd"),
+	)
+}
+
+// Jobs generates a seeded n-posting careers database with realistic
+// correlations: salary rises with seniority, category tier and location
+// cost; experience tracks seniority; software/data roles skew remote.
+func Jobs(n int, seed int64) *Dataset {
+	schema := JobsSchema()
+	rng := rand.New(rand.NewSource(seed))
+	catDraw := newWeighted(jobCategoryWeights)
+
+	// Location pay multipliers, loosely tiered.
+	locMult := []float64{1.25, 1.35, 1.1, 1.05, 1.2, 1.2, 1.0, 1.05, 1.0, 1.0, 0.95, 0.95, 0.9, 0.95, 0.95, 1.0}
+	// Category base pay.
+	catBase := []float64{110000, 105000, 95000, 80000, 65000, 70000, 62000, 75000, 98000, 55000, 58000, 42000}
+
+	salaryAttr := schema.Attrs[JobAttrSalary]
+	expAttr := schema.Attrs[JobAttrExperience]
+
+	tuples := make([]hiddendb.Tuple, n)
+	for i := range tuples {
+		cat := catDraw.draw(rng)
+		// Seniority pyramid.
+		var sen int
+		switch r := rng.Float64(); {
+		case r < 0.05:
+			sen = 0
+		case r < 0.30:
+			sen = 1
+		case r < 0.65:
+			sen = 2
+		case r < 0.88:
+			sen = 3
+		case r < 0.97:
+			sen = 4
+		default:
+			sen = 5
+		}
+		loc := rng.Intn(len(jobLocations))
+
+		// Experience grows with seniority.
+		expBase := []float64{0, 0.5, 3, 6, 9, 14}[sen]
+		years := expBase + rng.Float64()*3
+		if years > 39 {
+			years = 39
+		}
+
+		// Salary: base by category, scaled by seniority and location.
+		senMult := []float64{0.35, 0.65, 1.0, 1.35, 1.7, 2.6}[sen]
+		salary := catBase[cat] * senMult * locMult[loc] * (0.85 + 0.3*rng.Float64())
+		if salary < 20000 {
+			salary = 20000
+		}
+		if salary > 499999 {
+			salary = 499999
+		}
+		salary = math.Round(salary)
+		years = math.Round(years*10) / 10
+
+		// Remote skews tech-ward; the remote-usa location is always remote.
+		remote := 0
+		if loc == len(jobLocations)-1 || (cat <= 1 && rng.Float64() < 0.45) || rng.Float64() < 0.15 {
+			remote = 1
+		}
+		jobType := 0
+		switch r := rng.Float64(); {
+		case r < 0.08:
+			jobType = 1
+		case r < 0.22:
+			jobType = 2
+		}
+		edu := 1
+		switch r := rng.Float64(); {
+		case r < 0.25:
+			edu = 0
+		case r < 0.85:
+			edu = 1
+		case r < 0.97:
+			edu = 2
+		default:
+			edu = 3
+		}
+		if cat == 8 || cat == 9 { // legal/education lean advanced degrees
+			if rng.Float64() < 0.4 {
+				edu = 2
+			}
+		}
+
+		vals := make([]int, jobNumAttrs)
+		vals[JobAttrCategory] = cat
+		vals[JobAttrSeniority] = sen
+		vals[JobAttrLocation] = loc
+		vals[JobAttrSalary] = salaryAttr.BucketOf(salary)
+		vals[JobAttrExperience] = expAttr.BucketOf(years)
+		vals[JobAttrType] = jobType
+		vals[JobAttrRemote] = remote
+		vals[JobAttrEducation] = edu
+
+		nums := make([]float64, jobNumAttrs)
+		for j := range nums {
+			nums[j] = math.NaN()
+		}
+		nums[JobAttrSalary] = salary
+		nums[JobAttrExperience] = years
+
+		tuples[i] = hiddendb.Tuple{Vals: vals, Nums: nums}
+	}
+	return &Dataset{Schema: schema, Tuples: tuples}
+}

@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+)
+
+func TestJobsSchemaAndGeneration(t *testing.T) {
+	ds := Jobs(5000, 7)
+	if ds.Schema.NumAttrs() != jobNumAttrs {
+		t.Fatalf("attrs = %d", ds.Schema.NumAttrs())
+	}
+	if _, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 100}); err != nil {
+		t.Fatalf("generated jobs rejected: %v", err)
+	}
+	salaryAttr := ds.Schema.Attrs[JobAttrSalary]
+	for i, tu := range ds.Tuples {
+		sal, ok := tu.Num(JobAttrSalary)
+		if !ok {
+			t.Fatalf("tuple %d missing salary payload", i)
+		}
+		if got := salaryAttr.BucketOf(sal); got != tu.Vals[JobAttrSalary] {
+			t.Fatalf("tuple %d salary bucket mismatch", i)
+		}
+	}
+	// Correlation: executives out-earn interns on average.
+	var internSum, execSum float64
+	var internN, execN int
+	for _, tu := range ds.Tuples {
+		sal, _ := tu.Num(JobAttrSalary)
+		switch tu.Vals[JobAttrSeniority] {
+		case 0:
+			internSum += sal
+			internN++
+		case 5:
+			execSum += sal
+			execN++
+		}
+	}
+	if internN == 0 || execN == 0 {
+		t.Fatal("seniority pyramid degenerate")
+	}
+	if execSum/float64(execN) < 2*internSum/float64(internN) {
+		t.Errorf("executives (%g avg) should far out-earn interns (%g avg)",
+			execSum/float64(execN), internSum/float64(internN))
+	}
+	// remote-usa location implies remote flag.
+	for i, tu := range ds.Tuples {
+		if tu.Vals[JobAttrLocation] == len(jobLocations)-1 && tu.Vals[JobAttrRemote] != 1 {
+			t.Fatalf("tuple %d: remote-usa location without remote flag", i)
+		}
+	}
+}
+
+func TestJobsDeterministic(t *testing.T) {
+	a, b := Jobs(100, 5), Jobs(100, 5)
+	for i := range a.Tuples {
+		for j := range a.Tuples[i].Vals {
+			if a.Tuples[i].Vals[j] != b.Tuples[i].Vals[j] {
+				t.Fatal("same seed differs")
+			}
+		}
+	}
+}
+
+const sampleCSV = `make,price,used,notes,year
+toyota,12000,true,constant,2005
+honda,9500,false,constant,2003
+toyota,15000,true,constant,2008
+ford,7000,false,constant,2001
+honda,22000,true,constant,2009
+ford,8000,true,constant,2002
+toyota,31000,false,constant,2009
+honda,5000,true,constant,1999
+`
+
+func TestFromCSVInference(t *testing.T) {
+	ds, skipped, err := FromCSV(strings.NewReader(sampleCSV), CSVOptions{Name: "cars", NumericBuckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "notes" {
+		t.Fatalf("skipped = %v, want [notes]", skipped)
+	}
+	s := ds.Schema
+	if s.Name != "cars" || s.NumAttrs() != 4 {
+		t.Fatalf("schema = %q with %d attrs", s.Name, s.NumAttrs())
+	}
+	if s.Attrs[0].Kind != hiddendb.KindCategorical || s.Attrs[0].Name != "make" {
+		t.Fatalf("make attr = %+v", s.Attrs[0])
+	}
+	if s.Attrs[0].Values[0] != "toyota" { // first-appearance order
+		t.Fatalf("make values = %v", s.Attrs[0].Values)
+	}
+	if s.Attrs[1].Kind != hiddendb.KindNumeric {
+		t.Fatalf("price kind = %v", s.Attrs[1].Kind)
+	}
+	if s.Attrs[2].Kind != hiddendb.KindBool {
+		t.Fatalf("used kind = %v", s.Attrs[2].Kind)
+	}
+	if s.Attrs[3].Kind != hiddendb.KindNumeric {
+		t.Fatalf("year kind = %v", s.Attrs[3].Kind)
+	}
+	if len(ds.Tuples) != 8 {
+		t.Fatalf("tuples = %d", len(ds.Tuples))
+	}
+	// The dataset must be servable.
+	db, err := hiddendb.New(s, ds.Tuples, nil, hiddendb.Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: toyota, 12000, true.
+	tu := db.Tuple(0)
+	if s.Attrs[0].Values[tu.Vals[0]] != "toyota" {
+		t.Error("row 0 make wrong")
+	}
+	if price, ok := tu.Num(1); !ok || price != 12000 {
+		t.Errorf("row 0 price payload = %g", price)
+	}
+	if tu.Vals[2] != 1 {
+		t.Error("row 0 used should be true")
+	}
+	// Every numeric value lands inside its bucket, including the maximum.
+	for i := range ds.Tuples {
+		tu := db.Tuple(i)
+		price, _ := tu.Num(1)
+		if s.Attrs[1].BucketOf(price) != tu.Vals[1] {
+			t.Fatalf("row %d price bucket mismatch", i)
+		}
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"headerOnly": "a,b\n",
+		"ragged":     "a,b\n1\n",
+	}
+	for name, in := range cases {
+		if _, _, err := FromCSV(strings.NewReader(in), CSVOptions{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Too many distinct categorical values.
+	var b strings.Builder
+	b.WriteString("id,x\n")
+	for i := 0; i < 50; i++ {
+		b.WriteString(strings.Repeat("a", i+1) + ",1\n")
+		b.WriteString(strings.Repeat("b", i+1) + ",2\n")
+	}
+	if _, _, err := FromCSV(strings.NewReader(b.String()), CSVOptions{MaxCategorical: 10}); err == nil ||
+		!strings.Contains(err.Error(), "distinct values") {
+		t.Errorf("high-cardinality column: %v", err)
+	}
+	// All columns constant.
+	if _, _, err := FromCSV(strings.NewReader("a,b\n1,x\n1,x\n"), CSVOptions{}); err == nil {
+		t.Error("all-constant CSV accepted")
+	}
+}
+
+func TestFromCSVQuantileBuckets(t *testing.T) {
+	// 100 uniform values over [0,100): 4 buckets of ~25 each.
+	var b strings.Builder
+	b.WriteString("v\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString(strings.TrimSpace(strings.Join([]string{itoa(i)}, "")) + "\n")
+	}
+	ds, _, err := FromCSV(strings.NewReader(b.String()), CSVOptions{NumericBuckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := ds.Schema.Attrs[0]
+	if attr.DomainSize() != 4 {
+		t.Fatalf("buckets = %d, want 4", attr.DomainSize())
+	}
+	counts := make([]int, 4)
+	for _, tu := range ds.Tuples {
+		counts[tu.Vals[0]]++
+	}
+	for i, c := range counts {
+		if c != 25 {
+			t.Errorf("bucket %d holds %d values, want 25", i, c)
+		}
+	}
+}
+
+func TestFromCSVHeaderDefaults(t *testing.T) {
+	ds, _, err := FromCSV(strings.NewReader(",x\n1,a\n2,b\n"), CSVOptions{NumericBuckets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schema.Attrs[0].Name != "col0" {
+		t.Fatalf("empty header name = %q", ds.Schema.Attrs[0].Name)
+	}
+	// Two distinct numeric values cannot form range buckets; the column
+	// falls back to categorical.
+	if ds.Schema.Attrs[0].Kind != hiddendb.KindCategorical {
+		t.Fatalf("2-value numeric column kind = %v, want categorical fallback", ds.Schema.Attrs[0].Kind)
+	}
+	if ds.Schema.Attrs[0].Values[0] != "1" || ds.Schema.Attrs[0].Values[1] != "2" {
+		t.Fatalf("fallback values = %v", ds.Schema.Attrs[0].Values)
+	}
+}

@@ -1,0 +1,139 @@
+package estimate
+
+import (
+	"fmt"
+	"sort"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// CubeCell is one group of a grouped aggregate: the grouping values and
+// the estimates computed over samples falling in the group.
+type CubeCell struct {
+	// Values holds one domain-value index per grouping attribute.
+	Values []int
+	// Share is the estimated fraction of the database in this group.
+	Share Estimate
+	// Count is Share scaled by the population (population <= 0 leaves it
+	// zero-valued).
+	Count Estimate
+	// Sum and Avg aggregate the measure attribute over the group; only
+	// populated when the cube has a measure.
+	Sum Estimate
+	Avg Estimate
+	// Samples is the number of samples that landed in the group.
+	Samples int
+}
+
+// Cube is the §3.4 "resultant data cube": grouped aggregate estimates over
+// one or more attributes, computed from a uniform sample.
+type Cube struct {
+	// GroupBy holds the grouping attribute indexes; Measure the numeric
+	// attribute aggregated per group (-1 for COUNT-only cubes).
+	GroupBy []int
+	Measure int
+	Cells   []CubeCell
+}
+
+// BuildCube groups samples by the given attributes and estimates each
+// group's share, COUNT (when population > 0), and SUM/AVG of the measure
+// attribute (when measure >= 0). Only non-empty groups appear, in
+// lexicographic order of their grouping values.
+func BuildCube(schema *hiddendb.Schema, samples []hiddendb.Tuple, groupBy []int, measure, population int) (*Cube, error) {
+	if len(groupBy) == 0 {
+		return nil, fmt.Errorf("estimate: cube needs at least one grouping attribute")
+	}
+	for _, a := range groupBy {
+		if a < 0 || a >= schema.NumAttrs() {
+			return nil, fmt.Errorf("estimate: grouping attribute %d out of range", a)
+		}
+	}
+	if measure >= schema.NumAttrs() {
+		return nil, fmt.Errorf("estimate: measure attribute %d out of range", measure)
+	}
+
+	type group struct {
+		vals []int
+		idx  []int // sample indexes
+	}
+	byKey := make(map[string]*group)
+	var order []string
+	keyOf := func(t *hiddendb.Tuple) (string, []int) {
+		key := ""
+		vals := make([]int, len(groupBy))
+		for i, a := range groupBy {
+			v := t.Vals[a]
+			vals[i] = v
+			key += fmt.Sprintf("%d,", v)
+		}
+		return key, vals
+	}
+	for i := range samples {
+		key, vals := keyOf(&samples[i])
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{vals: vals}
+			byKey[key] = g
+			order = append(order, key)
+		}
+		g.idx = append(g.idx, i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := byKey[order[i]].vals, byKey[order[j]].vals
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+
+	cube := &Cube{GroupBy: append([]int(nil), groupBy...), Measure: measure}
+	n := len(samples)
+	for _, key := range order {
+		g := byKey[key]
+		cell := CubeCell{Values: g.vals, Samples: len(g.idx)}
+		pred := groupPred(groupBy, g.vals)
+		cell.Share = Proportion(samples, pred)
+		if population > 0 {
+			cell.Count = Count(samples, pred, population)
+		}
+		if measure >= 0 && n > 0 {
+			if population > 0 {
+				cell.Sum = Sum(samples, pred, measure, population)
+			}
+			cell.Avg = Avg(samples, pred, measure)
+		}
+		cube.Cells = append(cube.Cells, cell)
+	}
+	return cube, nil
+}
+
+// groupPred builds the conjunctive predicate selecting one group.
+func groupPred(groupBy, vals []int) hiddendb.Query {
+	q := hiddendb.EmptyQuery()
+	for i, a := range groupBy {
+		q = q.With(a, vals[i])
+	}
+	return q
+}
+
+// Cell returns the cube cell with the given grouping values, or nil.
+func (c *Cube) Cell(vals ...int) *CubeCell {
+	for i := range c.Cells {
+		if len(c.Cells[i].Values) != len(vals) {
+			continue
+		}
+		match := true
+		for j, v := range vals {
+			if c.Cells[i].Values[j] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return &c.Cells[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+)
+
+func TestBuildCubeSingleAttribute(t *testing.T) {
+	s := sampleSchema()
+	samples := []hiddendb.Tuple{
+		mkSample(0, 0, 0, 0, 10),
+		mkSample(1, 0, 1, 0, 20),
+		mkSample(2, 1, 0, 1, 100),
+		mkSample(3, 0, 0, 1, 30),
+	}
+	cube, err := BuildCube(s, samples, []int{0}, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (toyota, honda)", len(cube.Cells))
+	}
+	toyota := cube.Cell(0)
+	if toyota == nil || toyota.Samples != 3 {
+		t.Fatalf("toyota cell = %+v", toyota)
+	}
+	if toyota.Share.Value != 0.75 {
+		t.Errorf("toyota share = %g", toyota.Share.Value)
+	}
+	if toyota.Count.Value != 750 {
+		t.Errorf("toyota count = %g", toyota.Count.Value)
+	}
+	if toyota.Avg.Value != 20 {
+		t.Errorf("toyota avg price = %g, want 20", toyota.Avg.Value)
+	}
+	// Sum: mean contribution (10+20+30+0)/4 * 1000 = 15000.
+	if toyota.Sum.Value != 15000 {
+		t.Errorf("toyota sum = %g, want 15000", toyota.Sum.Value)
+	}
+	honda := cube.Cell(1)
+	if honda == nil || honda.Samples != 1 || honda.Avg.Value != 100 {
+		t.Fatalf("honda cell = %+v", honda)
+	}
+	if cube.Cell(2) != nil {
+		t.Error("empty group should be absent")
+	}
+	if cube.Cell(0, 0) != nil {
+		t.Error("arity-mismatched lookup should return nil")
+	}
+}
+
+func TestBuildCubeTwoAttributesOrdered(t *testing.T) {
+	s := sampleSchema()
+	var samples []hiddendb.Tuple
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		samples = append(samples, mkSample(i, rng.Intn(3), rng.Intn(2), 0, float64(rng.Intn(100))))
+	}
+	cube, err := BuildCube(s, samples, []int{0, 1}, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(cube.Cells))
+	}
+	// Lexicographic order of (make, used).
+	prev := []int{-1, -1}
+	for _, c := range cube.Cells {
+		if c.Values[0] < prev[0] || (c.Values[0] == prev[0] && c.Values[1] <= prev[1]) {
+			t.Fatalf("cells out of order: %v after %v", c.Values, prev)
+		}
+		prev = c.Values
+		// COUNT-only cube: Sum/Avg stay zero-valued.
+		if c.Sum.Value != 0 || c.Avg.Value != 0 {
+			t.Fatalf("measure-less cube has aggregates: %+v", c)
+		}
+	}
+	// Shares sum to 1.
+	total := 0.0
+	for _, c := range cube.Cells {
+		total += c.Share.Value
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %g", total)
+	}
+}
+
+func TestBuildCubeValidation(t *testing.T) {
+	s := sampleSchema()
+	samples := []hiddendb.Tuple{mkSample(0, 0, 0, 0, 1)}
+	if _, err := BuildCube(s, samples, nil, -1, 0); err == nil {
+		t.Error("empty groupBy accepted")
+	}
+	if _, err := BuildCube(s, samples, []int{9}, -1, 0); err == nil {
+		t.Error("out-of-range group attr accepted")
+	}
+	if _, err := BuildCube(s, samples, []int{0}, 9, 0); err == nil {
+		t.Error("out-of-range measure accepted")
+	}
+}
+
+func TestBuildCubeEmptySamples(t *testing.T) {
+	s := sampleSchema()
+	cube, err := BuildCube(s, nil, []int{0}, -1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 0 {
+		t.Fatalf("cells = %d, want 0", len(cube.Cells))
+	}
+}

@@ -1,0 +1,258 @@
+// Package estimate turns uniform samples into the statistics the demo's
+// Output Module displays: marginal histograms with confidence intervals
+// (Figure 4), approximate aggregates — COUNT, SUM, AVG over conjunctive
+// predicates (§3.4) — and population-size estimates, either from the
+// interface's root count or from sample collisions.
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// Marginal is the sampled distribution of one attribute.
+type Marginal struct {
+	Attr   int
+	Counts []int
+	// N is the number of samples accumulated (the column sums of Counts).
+	N int
+}
+
+// Proportions returns the normalized histogram.
+func (m *Marginal) Proportions() []float64 {
+	out := make([]float64, len(m.Counts))
+	if m.N == 0 {
+		return out
+	}
+	for i, c := range m.Counts {
+		out[i] = float64(c) / float64(m.N)
+	}
+	return out
+}
+
+// CI returns the normal-approximation confidence interval for value v's
+// proportion at z standard errors (z = 1.96 for 95%), clamped to [0,1].
+func (m *Marginal) CI(v int, z float64) (lo, hi float64) {
+	if m.N == 0 {
+		return 0, 1
+	}
+	p := float64(m.Counts[v]) / float64(m.N)
+	se := math.Sqrt(p * (1 - p) / float64(m.N))
+	lo, hi = p-z*se, p+z*se
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Marginals computes every attribute's sampled marginal.
+func Marginals(schema *hiddendb.Schema, samples []hiddendb.Tuple) []Marginal {
+	out := make([]Marginal, schema.NumAttrs())
+	for a := range out {
+		out[a] = Marginal{Attr: a, Counts: make([]int, schema.DomainSize(a))}
+	}
+	for i := range samples {
+		for a, v := range samples[i].Vals {
+			if a < len(out) && v >= 0 && v < len(out[a].Counts) {
+				out[a].Counts[v]++
+				out[a].N++
+			}
+		}
+	}
+	return out
+}
+
+// Accumulator ingests samples incrementally, maintaining all marginals and
+// a bounded ring of recent samples — the state behind the demo's live
+// histogram view.
+type Accumulator struct {
+	schema *hiddendb.Schema
+	counts [][]int
+	n      int
+
+	recent []hiddendb.Tuple
+	next   int
+	filled bool
+}
+
+// NewAccumulator builds an accumulator keeping up to recentCap recent
+// samples (default 100 when <= 0).
+func NewAccumulator(schema *hiddendb.Schema, recentCap int) *Accumulator {
+	if recentCap <= 0 {
+		recentCap = 100
+	}
+	a := &Accumulator{schema: schema, recent: make([]hiddendb.Tuple, recentCap)}
+	a.counts = make([][]int, schema.NumAttrs())
+	for i := range a.counts {
+		a.counts[i] = make([]int, schema.DomainSize(i))
+	}
+	return a
+}
+
+// Add ingests one sample.
+func (a *Accumulator) Add(t hiddendb.Tuple) {
+	for attr, v := range t.Vals {
+		if attr < len(a.counts) && v >= 0 && v < len(a.counts[attr]) {
+			a.counts[attr][v]++
+		}
+	}
+	a.n++
+	a.recent[a.next] = t.Clone()
+	a.next++
+	if a.next == len(a.recent) {
+		a.next = 0
+		a.filled = true
+	}
+}
+
+// N returns the number of samples ingested.
+func (a *Accumulator) N() int { return a.n }
+
+// Marginal returns attribute attr's sampled marginal.
+func (a *Accumulator) Marginal(attr int) Marginal {
+	return Marginal{Attr: attr, Counts: append([]int(nil), a.counts[attr]...), N: a.n}
+}
+
+// Recent returns the most recent samples, newest last.
+func (a *Accumulator) Recent() []hiddendb.Tuple {
+	if !a.filled {
+		out := make([]hiddendb.Tuple, a.next)
+		copy(out, a.recent[:a.next])
+		return out
+	}
+	out := make([]hiddendb.Tuple, 0, len(a.recent))
+	out = append(out, a.recent[a.next:]...)
+	out = append(out, a.recent[:a.next]...)
+	return out
+}
+
+// Estimate is a point estimate with a normal-approximation standard error.
+type Estimate struct {
+	Value  float64
+	StdErr float64
+	// N is the number of samples the estimate used.
+	N int
+}
+
+// CI returns the interval Value ± z·StdErr.
+func (e Estimate) CI(z float64) (lo, hi float64) {
+	return e.Value - z*e.StdErr, e.Value + z*e.StdErr
+}
+
+// String renders "value ± stderr".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", e.Value, e.StdErr)
+}
+
+// Proportion estimates the fraction of the database matching pred from
+// uniform samples.
+func Proportion(samples []hiddendb.Tuple, pred hiddendb.Query) Estimate {
+	n := len(samples)
+	if n == 0 {
+		return Estimate{}
+	}
+	match := 0
+	for i := range samples {
+		if pred.Matches(samples[i].Vals) {
+			match++
+		}
+	}
+	p := float64(match) / float64(n)
+	return Estimate{Value: p, StdErr: math.Sqrt(p * (1 - p) / float64(n)), N: n}
+}
+
+// Count estimates COUNT(*) WHERE pred, given the population size (from the
+// interface's root count or a population estimator).
+func Count(samples []hiddendb.Tuple, pred hiddendb.Query, population int) Estimate {
+	p := Proportion(samples, pred)
+	return Estimate{
+		Value:  p.Value * float64(population),
+		StdErr: p.StdErr * float64(population),
+		N:      p.N,
+	}
+}
+
+// Sum estimates SUM(attr) WHERE pred, given the population size. Samples
+// without a numeric payload for attr contribute zero.
+func Sum(samples []hiddendb.Tuple, pred hiddendb.Query, attr, population int) Estimate {
+	n := len(samples)
+	if n == 0 {
+		return Estimate{}
+	}
+	xs := make([]float64, n)
+	for i := range samples {
+		if pred.Matches(samples[i].Vals) {
+			if v, ok := samples[i].Num(attr); ok {
+				xs[i] = v
+			}
+		}
+	}
+	mean, sd := meanStd(xs)
+	scale := float64(population)
+	return Estimate{Value: mean * scale, StdErr: sd / math.Sqrt(float64(n)) * scale, N: n}
+}
+
+// Avg estimates AVG(attr) WHERE pred: the mean of the numeric payload over
+// matching samples (a ratio estimator — no population size needed).
+func Avg(samples []hiddendb.Tuple, pred hiddendb.Query, attr int) Estimate {
+	var xs []float64
+	for i := range samples {
+		if !pred.Matches(samples[i].Vals) {
+			continue
+		}
+		if v, ok := samples[i].Num(attr); ok {
+			xs = append(xs, v)
+		}
+	}
+	if len(xs) == 0 {
+		return Estimate{}
+	}
+	mean, sd := meanStd(xs)
+	return Estimate{Value: mean, StdErr: sd / math.Sqrt(float64(len(xs))), N: len(xs)}
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// PopulationBirthday estimates the database size from sample collisions
+// (uniform draws with replacement): with c pairwise ID collisions among n
+// samples, N ≈ n(n−1)/(2c). It returns ok = false when no collision has
+// occurred yet (the estimator is undefined; more samples needed). Samples
+// must carry stable IDs (item links give the HTTP connector these).
+func PopulationBirthday(samples []hiddendb.Tuple) (Estimate, bool) {
+	n := len(samples)
+	seen := make(map[int]int, n)
+	collisions := 0
+	for i := range samples {
+		if samples[i].ID < 0 {
+			continue
+		}
+		collisions += seen[samples[i].ID]
+		seen[samples[i].ID]++
+	}
+	if collisions == 0 {
+		return Estimate{N: n}, false
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	est := pairs / float64(collisions)
+	// Relative error of a Poisson count: 1/sqrt(c).
+	return Estimate{Value: est, StdErr: est / math.Sqrt(float64(collisions)), N: n}, true
+}

@@ -1,0 +1,263 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+)
+
+func sampleSchema() *hiddendb.Schema {
+	return hiddendb.MustSchema("s",
+		hiddendb.CatAttr("make", "toyota", "honda", "ford"),
+		hiddendb.BoolAttr("used"),
+		hiddendb.NumAttr("price", 0, 100, 200))
+}
+
+func mkSample(id, mk, used, priceBucket int, price float64) hiddendb.Tuple {
+	return hiddendb.Tuple{
+		ID:   id,
+		Vals: []int{mk, used, priceBucket},
+		Nums: []float64{math.NaN(), math.NaN(), price},
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	s := sampleSchema()
+	samples := []hiddendb.Tuple{
+		mkSample(0, 0, 1, 0, 50),
+		mkSample(1, 0, 0, 1, 150),
+		mkSample(2, 1, 1, 0, 80),
+		mkSample(3, 2, 1, 1, 120),
+	}
+	ms := Marginals(s, samples)
+	if len(ms) != 3 {
+		t.Fatalf("marginals = %d", len(ms))
+	}
+	if ms[0].Counts[0] != 2 || ms[0].Counts[1] != 1 || ms[0].Counts[2] != 1 {
+		t.Errorf("make counts = %v", ms[0].Counts)
+	}
+	props := ms[0].Proportions()
+	if props[0] != 0.5 {
+		t.Errorf("make[0] proportion = %g", props[0])
+	}
+	if ms[1].N != 4 {
+		t.Errorf("N = %d", ms[1].N)
+	}
+}
+
+func TestMarginalCI(t *testing.T) {
+	m := Marginal{Attr: 0, Counts: []int{50, 50}, N: 100}
+	lo, hi := m.CI(0, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("CI = [%g,%g] should straddle 0.5", lo, hi)
+	}
+	want := 1.96 * math.Sqrt(0.25/100)
+	if math.Abs((hi-lo)/2-want) > 1e-9 {
+		t.Errorf("CI half-width = %g, want %g", (hi-lo)/2, want)
+	}
+	// Clamped at [0,1].
+	m2 := Marginal{Attr: 0, Counts: []int{100, 0}, N: 100}
+	lo, hi = m2.CI(0, 3)
+	if hi > 1 || lo < 0 {
+		t.Errorf("CI not clamped: [%g,%g]", lo, hi)
+	}
+	empty := Marginal{Attr: 0, Counts: []int{0, 0}}
+	if lo, hi = empty.CI(0, 2); lo != 0 || hi != 1 {
+		t.Errorf("empty CI = [%g,%g], want [0,1]", lo, hi)
+	}
+	zero := m.Proportions()
+	_ = zero
+	if p := (&Marginal{Counts: []int{1, 1}}).Proportions(); p[0] != 0 {
+		t.Error("zero-N proportions should be 0")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	s := sampleSchema()
+	a := NewAccumulator(s, 3)
+	for i := 0; i < 5; i++ {
+		a.Add(mkSample(i, i%3, i%2, 0, 50))
+	}
+	if a.N() != 5 {
+		t.Fatalf("N = %d", a.N())
+	}
+	m := a.Marginal(0)
+	if m.Counts[0] != 2 || m.Counts[1] != 2 || m.Counts[2] != 1 {
+		t.Errorf("counts = %v", m.Counts)
+	}
+	recent := a.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("recent = %d, want ring cap 3", len(recent))
+	}
+	// Newest last: IDs 2,3,4.
+	if recent[0].ID != 2 || recent[2].ID != 4 {
+		t.Errorf("recent IDs = %d,%d,%d", recent[0].ID, recent[1].ID, recent[2].ID)
+	}
+	// Before the ring fills, Recent returns only what exists.
+	b := NewAccumulator(s, 10)
+	b.Add(mkSample(7, 0, 0, 0, 10))
+	if got := b.Recent(); len(got) != 1 || got[0].ID != 7 {
+		t.Errorf("recent = %+v", got)
+	}
+	// Marginal snapshot is a copy.
+	snap := a.Marginal(0)
+	snap.Counts[0] = 99
+	if a.Marginal(0).Counts[0] == 99 {
+		t.Error("Marginal returned shared storage")
+	}
+}
+
+func TestProportionAndCount(t *testing.T) {
+	var samples []hiddendb.Tuple
+	for i := 0; i < 200; i++ {
+		mk := 0
+		if i >= 80 { // 40% toyota
+			mk = 1 + i%2
+		}
+		samples = append(samples, mkSample(i, mk, 0, 0, 50))
+	}
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 0})
+	p := Proportion(samples, pred)
+	if p.Value != 0.4 {
+		t.Errorf("proportion = %g, want 0.4", p.Value)
+	}
+	wantSE := math.Sqrt(0.4 * 0.6 / 200)
+	if math.Abs(p.StdErr-wantSE) > 1e-12 {
+		t.Errorf("stderr = %g, want %g", p.StdErr, wantSE)
+	}
+	c := Count(samples, pred, 10000)
+	if c.Value != 4000 {
+		t.Errorf("count = %g, want 4000", c.Value)
+	}
+	if math.Abs(c.StdErr-wantSE*10000) > 1e-9 {
+		t.Errorf("count stderr = %g", c.StdErr)
+	}
+	lo, hi := c.CI(1.96)
+	if lo >= 4000 || hi <= 4000 {
+		t.Errorf("CI = [%g,%g]", lo, hi)
+	}
+	if Proportion(nil, pred).Value != 0 {
+		t.Error("empty proportion should be zero value")
+	}
+}
+
+func TestAvg(t *testing.T) {
+	samples := []hiddendb.Tuple{
+		mkSample(0, 0, 0, 0, 10),
+		mkSample(1, 0, 0, 0, 20),
+		mkSample(2, 1, 0, 0, 1000), // excluded by predicate
+	}
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 0})
+	got := Avg(samples, pred, 2)
+	if got.Value != 15 || got.N != 2 {
+		t.Errorf("avg = %+v, want 15 over 2", got)
+	}
+	// sd of {10,20} = 7.07..., stderr = sd/sqrt(2) = 5.
+	if math.Abs(got.StdErr-5) > 1e-9 {
+		t.Errorf("stderr = %g, want 5", got.StdErr)
+	}
+	if e := Avg(nil, pred, 2); e.Value != 0 || e.N != 0 {
+		t.Errorf("empty avg = %+v", e)
+	}
+	// Predicate matching nothing.
+	none := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 2})
+	if e := Avg(samples, none, 2); e.N != 0 {
+		t.Errorf("no-match avg = %+v", e)
+	}
+}
+
+func TestSum(t *testing.T) {
+	samples := []hiddendb.Tuple{
+		mkSample(0, 0, 0, 0, 10),
+		mkSample(1, 0, 0, 0, 30),
+		mkSample(2, 1, 0, 0, 1000), // excluded
+		mkSample(3, 0, 0, 0, 20),
+	}
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 0})
+	// Mean contribution = (10+30+0+20)/4 = 15; population 100 -> 1500.
+	got := Sum(samples, pred, 2, 100)
+	if got.Value != 1500 {
+		t.Errorf("sum = %g, want 1500", got.Value)
+	}
+	if got.StdErr <= 0 {
+		t.Error("stderr should be positive")
+	}
+	if e := Sum(nil, pred, 2, 100); e.Value != 0 {
+		t.Errorf("empty sum = %+v", e)
+	}
+}
+
+func TestSumCountConvergence(t *testing.T) {
+	// On a synthetic population, sample estimates converge to truth.
+	rng := rand.New(rand.NewSource(42))
+	const population = 50000
+	pop := make([]hiddendb.Tuple, population)
+	var trueSum float64
+	trueCount := 0
+	for i := range pop {
+		mk := rng.Intn(3)
+		price := 50 + rng.Float64()*100
+		pop[i] = mkSample(i, mk, rng.Intn(2), 0, price)
+		if mk == 1 {
+			trueSum += price
+			trueCount++
+		}
+	}
+	var samples []hiddendb.Tuple
+	for i := 0; i < 2000; i++ {
+		samples = append(samples, pop[rng.Intn(population)])
+	}
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 1})
+	c := Count(samples, pred, population)
+	if math.Abs(c.Value-float64(trueCount))/float64(trueCount) > 0.1 {
+		t.Errorf("count estimate %g vs truth %d", c.Value, trueCount)
+	}
+	s := Sum(samples, pred, 2, population)
+	if math.Abs(s.Value-trueSum)/trueSum > 0.1 {
+		t.Errorf("sum estimate %g vs truth %g", s.Value, trueSum)
+	}
+	// The 3-sigma CI should cover the truth (fixed seed: deterministic).
+	lo, hi := c.CI(3)
+	if float64(trueCount) < lo || float64(trueCount) > hi {
+		t.Errorf("count CI [%g,%g] misses truth %d", lo, hi, trueCount)
+	}
+}
+
+func TestPopulationBirthday(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 400
+	const population = 1000
+	samples := make([]hiddendb.Tuple, n)
+	for i := range samples {
+		samples[i] = mkSample(rng.Intn(population), 0, 0, 0, 10)
+	}
+	est, ok := PopulationBirthday(samples)
+	if !ok {
+		t.Fatal("400 draws from 1000 should collide")
+	}
+	if est.Value < 500 || est.Value > 2000 {
+		t.Errorf("population estimate %g far from 1000", est.Value)
+	}
+	// No collisions: undefined.
+	unique := make([]hiddendb.Tuple, 10)
+	for i := range unique {
+		unique[i] = mkSample(i, 0, 0, 0, 10)
+	}
+	if _, ok := PopulationBirthday(unique); ok {
+		t.Error("collision-free set should report not-ok")
+	}
+	// Unknown IDs are skipped.
+	anon := []hiddendb.Tuple{mkSample(-1, 0, 0, 0, 1), mkSample(-1, 0, 0, 0, 1)}
+	if _, ok := PopulationBirthday(anon); ok {
+		t.Error("ID-less samples should not collide")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Value: 1234.5678, StdErr: 12.3}
+	if e.String() == "" {
+		t.Error("empty String")
+	}
+}

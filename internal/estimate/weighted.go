@@ -1,0 +1,112 @@
+package estimate
+
+import (
+	"math"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// Weighted couples a tuple with the exact probability the generating walk
+// emitted it (its reach). Because the generators report reach on every
+// candidate, aggregates can be estimated by Horvitz–Thompson weighting
+// *without* the acceptance/rejection step: every candidate contributes
+// 1/reach, dead-end walks contribute zero, and the estimator of any
+// population total Σ_t f(t) is unbiased over reachable tuples — the
+// unbiased-estimation idea of the ICDE 2009 count-leveraging line, which
+// trades the rejection step's query bill for estimator variance.
+type Weighted struct {
+	Tuple hiddendb.Tuple
+	Reach float64
+}
+
+// WeightedSet is a collection of weighted candidates plus the number of
+// walks (including dead ends) that produced them; the walk count is the
+// estimator's denominator.
+type WeightedSet struct {
+	Samples []Weighted
+	// Walks is the total number of walks performed, successful or not.
+	Walks int64
+}
+
+// Add appends one candidate produced after `restarts` dead-end walks.
+func (ws *WeightedSet) Add(t hiddendb.Tuple, reach float64, restarts int) {
+	ws.Samples = append(ws.Samples, Weighted{Tuple: t, Reach: reach})
+	ws.Walks += int64(restarts) + 1
+}
+
+// Total estimates the population total Σ_t f(t) over reachable tuples:
+// mean over walks of f(t)/reach(t) (zero for dead-end walks), with the
+// standard error of that mean.
+func (ws *WeightedSet) Total(f func(*hiddendb.Tuple) float64) Estimate {
+	w := float64(ws.Walks)
+	if w == 0 {
+		return Estimate{}
+	}
+	var sum, sumSq float64
+	for i := range ws.Samples {
+		s := &ws.Samples[i]
+		if s.Reach <= 0 {
+			continue
+		}
+		v := f(&s.Tuple) / s.Reach
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / w
+	// Per-walk variance including the (Walks - len(Samples)) zero terms.
+	variance := sumSq/w - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Estimate{Value: mean, StdErr: math.Sqrt(variance / w), N: len(ws.Samples)}
+}
+
+// Count estimates COUNT(*) WHERE pred — no population size needed, unlike
+// the uniform-sample Count.
+func (ws *WeightedSet) Count(pred hiddendb.Query) Estimate {
+	return ws.Total(func(t *hiddendb.Tuple) float64 {
+		if pred.Matches(t.Vals) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Sum estimates SUM(attr) WHERE pred.
+func (ws *WeightedSet) Sum(pred hiddendb.Query, attr int) Estimate {
+	return ws.Total(func(t *hiddendb.Tuple) float64 {
+		if !pred.Matches(t.Vals) {
+			return 0
+		}
+		v, ok := t.Num(attr)
+		if !ok {
+			return 0
+		}
+		return v
+	})
+}
+
+// Avg estimates AVG(attr) WHERE pred as the ratio of the Sum and Count
+// estimators, with a first-order (delta-method) standard error.
+func (ws *WeightedSet) Avg(pred hiddendb.Query, attr int) Estimate {
+	sum := ws.Sum(pred, attr)
+	count := ws.Count(pred)
+	if count.Value <= 0 {
+		return Estimate{N: len(ws.Samples)}
+	}
+	value := sum.Value / count.Value
+	rel := 0.0
+	if sum.Value != 0 {
+		r1 := sum.StdErr / math.Abs(sum.Value)
+		r2 := count.StdErr / count.Value
+		rel = math.Sqrt(r1*r1 + r2*r2)
+	}
+	return Estimate{Value: value, StdErr: math.Abs(value) * rel, N: len(ws.Samples)}
+}
+
+// Population estimates the number of reachable tuples: the total of the
+// constant-1 function. This is the unbiased size estimator a
+// count-reporting interface makes unnecessary.
+func (ws *WeightedSet) Population() Estimate {
+	return ws.Total(func(*hiddendb.Tuple) float64 { return 1 })
+}

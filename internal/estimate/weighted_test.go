@@ -1,0 +1,129 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// syntheticWalkSet simulates a walk process over a known population with
+// per-tuple reach probabilities and returns the weighted set plus truth.
+func syntheticWalkSet(t *testing.T, seed int64, walks int) (*WeightedSet, []hiddendb.Tuple) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Population: 60 tuples, reach proportional to 1 or 3 (skewed walk),
+	// scaled so total candidate probability is 0.6 (40% dead ends).
+	pop := make([]hiddendb.Tuple, 60)
+	reach := make([]float64, 60)
+	var reachTotal float64
+	for i := range pop {
+		mk := i % 3
+		pop[i] = hiddendb.Tuple{ID: i, Vals: []int{mk}, Nums: []float64{float64(10 + i)}}
+		w := 1.0
+		if i%2 == 0 {
+			w = 3
+		}
+		reach[i] = w
+		reachTotal += w
+	}
+	for i := range reach {
+		reach[i] = reach[i] / reachTotal * 0.6
+	}
+	ws := &WeightedSet{}
+	pending := 0
+	for w := 0; w < walks; w++ {
+		u := rng.Float64()
+		acc := 0.0
+		hit := -1
+		for i, r := range reach {
+			acc += r
+			if u < acc {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			pending++ // dead-end walk
+			continue
+		}
+		ws.Add(pop[hit], reach[hit], pending)
+		pending = 0
+	}
+	ws.Walks += int64(pending) // trailing dead ends count too
+	return ws, pop
+}
+
+func TestWeightedCountUnbiased(t *testing.T) {
+	ws, pop := syntheticWalkSet(t, 1, 30000)
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 1})
+	trueCount := 0.0
+	for _, tu := range pop {
+		if pred.Matches(tu.Vals) {
+			trueCount++
+		}
+	}
+	est := ws.Count(pred)
+	if math.Abs(est.Value-trueCount)/trueCount > 0.1 {
+		t.Fatalf("HT count %g, truth %g", est.Value, trueCount)
+	}
+	// The 3-sigma interval should cover the truth (seeded, deterministic).
+	lo, hi := est.CI(3)
+	if trueCount < lo || trueCount > hi {
+		t.Fatalf("CI [%g,%g] misses truth %g", lo, hi, trueCount)
+	}
+}
+
+func TestWeightedSumAndAvg(t *testing.T) {
+	ws, pop := syntheticWalkSet(t, 2, 30000)
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 0})
+	var trueSum, trueCount float64
+	for _, tu := range pop {
+		if pred.Matches(tu.Vals) {
+			v, _ := tu.Num(0)
+			trueSum += v
+			trueCount++
+		}
+	}
+	sum := ws.Sum(pred, 0)
+	if math.Abs(sum.Value-trueSum)/trueSum > 0.1 {
+		t.Fatalf("HT sum %g, truth %g", sum.Value, trueSum)
+	}
+	avg := ws.Avg(pred, 0)
+	trueAvg := trueSum / trueCount
+	if math.Abs(avg.Value-trueAvg)/trueAvg > 0.1 {
+		t.Fatalf("HT avg %g, truth %g", avg.Value, trueAvg)
+	}
+	if avg.StdErr <= 0 {
+		t.Fatal("avg stderr should be positive")
+	}
+}
+
+func TestWeightedPopulation(t *testing.T) {
+	ws, pop := syntheticWalkSet(t, 3, 30000)
+	est := ws.Population()
+	if math.Abs(est.Value-float64(len(pop)))/float64(len(pop)) > 0.1 {
+		t.Fatalf("HT population %g, truth %d", est.Value, len(pop))
+	}
+}
+
+func TestWeightedEdgeCases(t *testing.T) {
+	empty := &WeightedSet{}
+	if e := empty.Count(hiddendb.EmptyQuery()); e.Value != 0 || e.StdErr != 0 {
+		t.Errorf("empty set count = %+v", e)
+	}
+	// Zero/negative reach contributions are skipped, not divided by.
+	ws := &WeightedSet{}
+	ws.Add(hiddendb.Tuple{Vals: []int{0}}, 0, 0)
+	ws.Add(hiddendb.Tuple{Vals: []int{0}}, 0.5, 0)
+	e := ws.Count(hiddendb.EmptyQuery())
+	if math.IsInf(e.Value, 0) || math.IsNaN(e.Value) {
+		t.Fatalf("zero reach leaked: %+v", e)
+	}
+	// Avg over a predicate matching nothing.
+	none := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 1})
+	if a := ws.Avg(none, 0); a.Value != 0 {
+		t.Errorf("no-match avg = %+v", a)
+	}
+}

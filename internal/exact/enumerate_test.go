@@ -1,0 +1,106 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// enumerateWalks computes the walk distribution by explicitly simulating
+// every possible value sequence of a fixed-order walk — an independent,
+// brute-force oracle for WalkDist. Only feasible for tiny schemas.
+func enumerateWalks(db *hiddendb.DB, k int) (reach []float64, deadEnd, queries float64) {
+	schema := db.Schema()
+	m := schema.NumAttrs()
+	reach = make([]float64, db.Size())
+	vals, ids := db.ValsByRank()
+
+	// Recursive simulation: at depth d, all dom(d) choices are equally
+	// likely; match lists are filtered exactly like the interface would.
+	var walk func(list []int, depth int, p float64)
+	walk = func(list []int, depth int, p float64) {
+		attr := depth
+		dom := schema.DomainSize(attr)
+		for v := 0; v < dom; v++ {
+			var child []int
+			for _, pos := range list {
+				if vals[pos][attr] == v {
+					child = append(child, pos)
+				}
+			}
+			pc := p / float64(dom)
+			queries += pc
+			switch {
+			case len(child) == 0:
+				deadEnd += pc
+			case len(child) <= k:
+				for _, pos := range child {
+					reach[ids[pos]] += pc / float64(len(child))
+				}
+			case depth == m-1:
+				for _, pos := range child[:k] {
+					reach[ids[pos]] += pc / float64(k)
+				}
+			default:
+				walk(child, depth+1, pc)
+			}
+		}
+	}
+	all := make([]int, len(vals))
+	for i := range all {
+		all[i] = i
+	}
+	walk(all, 0, 1)
+	return reach, deadEnd, queries
+}
+
+// Property: WalkDist agrees with the independent enumeration oracle on
+// random small databases across random k.
+func TestWalkDistMatchesEnumerationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3) // 2..4 attributes
+		doms := make([]hiddendb.Attribute, m)
+		for i := range doms {
+			d := 2 + rng.Intn(3)
+			values := make([]string, d)
+			for j := range values {
+				values[j] = string(rune('a' + j))
+			}
+			doms[i] = hiddendb.CatAttr(string(rune('p'+i)), values...)
+		}
+		schema := hiddendb.MustSchema("tiny", doms...)
+		n := 3 + rng.Intn(40)
+		tuples := make([]hiddendb.Tuple, n)
+		for i := range tuples {
+			vals := make([]int, m)
+			for a := range vals {
+				vals[a] = rng.Intn(schema.DomainSize(a))
+			}
+			tuples[i] = hiddendb.Tuple{Vals: vals}
+		}
+		k := 1 + rng.Intn(6)
+		db, err := hiddendb.New(schema, tuples, hiddendb.HashRanker{Seed: uint64(seed)}, hiddendb.Config{K: k})
+		if err != nil {
+			return false
+		}
+		d, err := WalkDist(db, nil, k)
+		if err != nil {
+			return false
+		}
+		wantReach, wantDead, wantQueries := enumerateWalks(db, k)
+		for i := range wantReach {
+			if math.Abs(d.Reach[i]-wantReach[i]) > 1e-12 {
+				return false
+			}
+		}
+		return math.Abs(d.DeadEnd-wantDead) < 1e-12 &&
+			math.Abs(d.QueriesPerWalk-wantQueries) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

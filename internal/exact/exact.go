@@ -1,0 +1,283 @@
+// Package exact computes, for a known database, the exact behaviour of the
+// samplers: every tuple's reach probability under the HIDDEN-DB-SAMPLER
+// random walk, dead-end probabilities, expected query costs, and the
+// post-rejection selection distribution for any target reach probability C.
+// The experiments use these closed-form results to report skew and
+// queries-per-sample without Monte-Carlo noise.
+//
+// The analyzer enumerates the (pruned) query tree directly from ground
+// truth; it never touches the restricted interface.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/metrics"
+)
+
+// Dist is the exact distribution of one walk configuration.
+type Dist struct {
+	// N is the database size; Reach[id] the probability one walk emits
+	// tuple id as its candidate.
+	N     int
+	Reach []float64
+	// DeadEnd is the probability a walk restarts (hits an empty query).
+	DeadEnd float64
+	// QueriesPerWalk is the expected number of interface queries one walk
+	// issues (successful or not).
+	QueriesPerWalk float64
+	// Unreachable counts tuples with zero reach: rows hidden beyond the
+	// top-k of every query that could return them.
+	Unreachable int
+}
+
+// WalkDist analyzes the fixed-order random walk over db with the given
+// attribute order (nil = schema order) and the interface's top-k limit.
+func WalkDist(db *hiddendb.DB, order []int, k int) (*Dist, error) {
+	schema := db.Schema()
+	if order == nil {
+		order = make([]int, schema.NumAttrs())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	seen := make(map[int]bool, len(order))
+	for _, a := range order {
+		if a < 0 || a >= schema.NumAttrs() {
+			return nil, fmt.Errorf("exact: attribute %d out of range", a)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("exact: duplicate attribute %d in order", a)
+		}
+		seen[a] = true
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("exact: k = %d, need >= 1", k)
+	}
+	vals, ids := db.ValsByRank()
+	d := &Dist{N: db.Size(), Reach: make([]float64, db.Size())}
+
+	// positions are indexes into vals (rank order); filtering preserves
+	// ascending order, so child[:k] is exactly the interface's top-k.
+	all := make([]int, len(vals))
+	for i := range all {
+		all[i] = i
+	}
+	var rec func(list []int, depth int, p float64)
+	rec = func(list []int, depth int, p float64) {
+		attr := order[depth]
+		dom := schema.DomainSize(attr)
+		pChild := p / float64(dom)
+		buckets := make([][]int, dom)
+		for _, pos := range list {
+			v := vals[pos][attr]
+			buckets[v] = append(buckets[v], pos)
+		}
+		for v := 0; v < dom; v++ {
+			child := buckets[v]
+			d.QueriesPerWalk += pChild // the walk executes this child query
+			switch {
+			case len(child) == 0:
+				d.DeadEnd += pChild
+			case len(child) <= k:
+				share := pChild / float64(len(child))
+				for _, pos := range child {
+					d.Reach[ids[pos]] += share
+				}
+			case depth == len(order)-1:
+				// Fully specified but still overflowing: only the top-k
+				// duplicates are visible.
+				share := pChild / float64(k)
+				for _, pos := range child[:k] {
+					d.Reach[ids[pos]] += share
+				}
+			default:
+				rec(child, depth+1, pChild)
+			}
+		}
+	}
+	rec(all, 0, 1.0)
+	for _, r := range d.Reach {
+		if r == 0 {
+			d.Unreachable++
+		}
+	}
+	return d, nil
+}
+
+// AverageWalkDist averages the walk distribution over `orders` random
+// attribute orders (the OrderShuffle variant), drawn with the given seed.
+func AverageWalkDist(db *hiddendb.DB, k, orders int, seed int64) (*Dist, error) {
+	if orders < 1 {
+		return nil, fmt.Errorf("exact: orders = %d, need >= 1", orders)
+	}
+	schema := db.Schema()
+	rng := rand.New(rand.NewSource(seed))
+	avg := &Dist{N: db.Size(), Reach: make([]float64, db.Size())}
+	for o := 0; o < orders; o++ {
+		order := rng.Perm(schema.NumAttrs())
+		d, err := WalkDist(db, order, k)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range d.Reach {
+			avg.Reach[i] += r / float64(orders)
+		}
+		avg.DeadEnd += d.DeadEnd / float64(orders)
+		avg.QueriesPerWalk += d.QueriesPerWalk / float64(orders)
+	}
+	for _, r := range avg.Reach {
+		if r == 0 {
+			avg.Unreachable++
+		}
+	}
+	return avg, nil
+}
+
+// Summary is the closed-form outcome of running acceptance/rejection with
+// target reach probability C on top of a walk distribution.
+type Summary struct {
+	C float64
+	// CandidatePerWalk is the probability a walk yields any candidate;
+	// AcceptPerWalk the probability it yields an accepted sample.
+	CandidatePerWalk float64
+	AcceptPerWalk    float64
+	// QueriesPerSample is the expected interface queries per accepted
+	// sample (infinite when nothing is accepted).
+	QueriesPerSample float64
+	// Skew is the coefficient of variation of the selection distribution
+	// over all tuples (0 = perfectly uniform); TV its total variation
+	// distance from uniform.
+	Skew float64
+	TV   float64
+	// Unreachable tuples can never be sampled (hidden beyond top-k).
+	Unreachable int
+}
+
+// Summarize computes the rejection outcome for target reach C; C >= 1
+// means accept-everything.
+func (d *Dist) Summarize(c float64) Summary {
+	s := Summary{C: c, Unreachable: d.Unreachable}
+	sel := make([]float64, d.N)
+	for i, r := range d.Reach {
+		s.CandidatePerWalk += r
+		p := r
+		if c > 0 && c < p {
+			p = c
+		}
+		sel[i] = p
+		s.AcceptPerWalk += p
+	}
+	if s.AcceptPerWalk > 0 {
+		s.QueriesPerSample = d.QueriesPerWalk / s.AcceptPerWalk
+		norm := make([]float64, d.N)
+		uniform := make([]float64, d.N)
+		for i := range sel {
+			norm[i] = sel[i] / s.AcceptPerWalk
+			uniform[i] = 1 / float64(d.N)
+		}
+		s.Skew = metrics.CV(norm)
+		s.TV = metrics.TV(norm, uniform)
+	} else {
+		s.QueriesPerSample = math.Inf(1)
+		s.Skew = math.Inf(1)
+		s.TV = 1
+	}
+	return s
+}
+
+// MinReach returns the smallest positive reach probability — the largest C
+// that still yields perfectly uniform samples over reachable tuples.
+func (d *Dist) MinReach() float64 {
+	min := math.Inf(1)
+	for _, r := range d.Reach {
+		if r > 0 && r < min {
+			min = r
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// CountWalkCost returns the expected interface queries per sample of the
+// count-weighted drill-down with exact counts (every walk succeeds, so
+// cost per walk equals cost per sample). useParentCount models the
+// sibling-inference optimization: |dom|−1 probes per level, plus one
+// fetch when the inferred child is the one chosen, plus one root query.
+func CountWalkCost(db *hiddendb.DB, order []int, k int, useParentCount bool) (float64, error) {
+	schema := db.Schema()
+	if order == nil {
+		order = make([]int, schema.NumAttrs())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("exact: k = %d, need >= 1", k)
+	}
+	vals, _ := db.ValsByRank()
+	all := make([]int, len(vals))
+	for i := range all {
+		all[i] = i
+	}
+	var cost float64
+	if useParentCount {
+		cost++ // root count query
+		if len(all) <= k {
+			return cost, nil // root valid: sample drawn directly
+		}
+	}
+	var rec func(list []int, depth int, pVisit float64)
+	rec = func(list []int, depth int, pVisit float64) {
+		attr := order[depth]
+		dom := schema.DomainSize(attr)
+		probes := float64(dom)
+		if useParentCount {
+			probes = float64(dom - 1)
+		}
+		cost += pVisit * probes
+		buckets := make([][]int, dom)
+		for _, pos := range list {
+			buckets[vals[pos][attr]] = append(buckets[vals[pos][attr]], pos)
+		}
+		total := float64(len(list))
+		if useParentCount && len(buckets[dom-1]) > 0 {
+			// The inferred last child is fetched only when chosen.
+			cost += pVisit * float64(len(buckets[dom-1])) / total
+		}
+		for v := 0; v < dom; v++ {
+			child := buckets[v]
+			if len(child) == 0 || len(child) <= k || depth == len(order)-1 {
+				continue
+			}
+			rec(child, depth+1, pVisit*float64(len(child))/total)
+		}
+	}
+	rec(all, 0, 1.0)
+	return cost, nil
+}
+
+// BruteForceCost returns the expected queries per candidate of the
+// BRUTE-FORCE-SAMPLER: |space| / (number of non-empty cells).
+func BruteForceCost(db *hiddendb.DB) float64 {
+	schema := db.Schema()
+	vals, _ := db.ValsByRank()
+	cells := make(map[string]bool, len(vals))
+	var keyBuf []byte
+	for _, row := range vals {
+		keyBuf = keyBuf[:0]
+		for _, v := range row {
+			keyBuf = append(keyBuf, byte(v), byte(v>>8))
+		}
+		cells[string(keyBuf)] = true
+	}
+	if len(cells) == 0 {
+		return math.Inf(1)
+	}
+	return schema.SpaceSize() / float64(len(cells))
+}

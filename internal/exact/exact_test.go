@@ -1,0 +1,293 @@
+package exact
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hdsampler/internal/core"
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+)
+
+func fig1DB(t *testing.T, k int) *hiddendb.DB {
+	t.Helper()
+	s := hiddendb.MustSchema("fig1",
+		hiddendb.BoolAttr("a1"), hiddendb.BoolAttr("a2"), hiddendb.BoolAttr("a3"))
+	tuples := []hiddendb.Tuple{
+		{Vals: []int{0, 0, 1}},
+		{Vals: []int{0, 1, 0}},
+		{Vals: []int{0, 1, 1}},
+		{Vals: []int{1, 1, 0}},
+	}
+	db, err := hiddendb.New(s, tuples, nil, hiddendb.Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestWalkDistFigure1(t *testing.T) {
+	db := fig1DB(t, 1)
+	d, err := WalkDist(db, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.125, 0.125, 0.5}
+	for i, w := range want {
+		if math.Abs(d.Reach[i]-w) > 1e-12 {
+			t.Errorf("reach[%d] = %g, want %g", i, d.Reach[i], w)
+		}
+	}
+	if d.DeadEnd != 0 {
+		t.Errorf("dead-end = %g, want 0", d.DeadEnd)
+	}
+	if math.Abs(d.QueriesPerWalk-1.75) > 1e-12 {
+		t.Errorf("queries/walk = %g, want 1.75", d.QueriesPerWalk)
+	}
+	if d.Unreachable != 0 {
+		t.Errorf("unreachable = %d", d.Unreachable)
+	}
+	if math.Abs(d.MinReach()-0.125) > 1e-12 {
+		t.Errorf("MinReach = %g, want 0.125", d.MinReach())
+	}
+}
+
+func TestSummarizeFigure1(t *testing.T) {
+	db := fig1DB(t, 1)
+	d, err := WalkDist(db, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C = 1/8: uniform acceptance, 1/2 accepted per walk, 3.5 q/sample.
+	s := d.Summarize(0.125)
+	if math.Abs(s.AcceptPerWalk-0.5) > 1e-12 {
+		t.Errorf("accept/walk = %g, want 0.5", s.AcceptPerWalk)
+	}
+	if math.Abs(s.QueriesPerSample-3.5) > 1e-12 {
+		t.Errorf("queries/sample = %g, want 3.5", s.QueriesPerSample)
+	}
+	if s.Skew > 1e-12 || s.TV > 1e-12 {
+		t.Errorf("uniform C should have zero skew/TV, got %g/%g", s.Skew, s.TV)
+	}
+	// C = 1 (accept everything): cheapest, most skewed.
+	raw := d.Summarize(1)
+	if math.Abs(raw.AcceptPerWalk-1.0) > 1e-12 {
+		t.Errorf("accept/walk at C=1 = %g, want 1", raw.AcceptPerWalk)
+	}
+	if math.Abs(raw.QueriesPerSample-1.75) > 1e-12 {
+		t.Errorf("queries/sample at C=1 = %g, want 1.75", raw.QueriesPerSample)
+	}
+	if raw.Skew <= s.Skew {
+		t.Error("C=1 should be more skewed than uniform C")
+	}
+	// Monotonicity along the slider: cost falls, skew rises.
+	prev := s
+	for _, c := range []float64{0.2, 0.3, 0.5, 1} {
+		cur := d.Summarize(c)
+		if cur.QueriesPerSample > prev.QueriesPerSample+1e-9 {
+			t.Errorf("cost increased along slider at C=%g", c)
+		}
+		if cur.Skew < prev.Skew-1e-9 {
+			t.Errorf("skew decreased along slider at C=%g", c)
+		}
+		prev = cur
+	}
+}
+
+func TestWalkDistMatchesEmpiricalWalker(t *testing.T) {
+	// The analyzer and the real sampler must agree on a nontrivial DB.
+	ds := datagen.IIDBoolean(6, 120, 0.4, 3)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := WalkDist(db, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w, err := core.NewWalker(ctx, formclient.NewLocal(db), core.WalkerConfig{Seed: 4, Order: core.OrderFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 30000
+	counts := make([]float64, db.Size())
+	totalQueries := 0.0
+	walks := 0.0
+	for i := 0; i < draws; i++ {
+		cand, err := w.Candidate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[cand.Tuple.ID]++
+		totalQueries += float64(cand.Queries)
+		walks += float64(cand.Restarts) + 1
+		// Reported reach must match the analyzer's reach exactly... no:
+		// reported reach is per-walk-path; the analyzer's Reach[t] sums
+		// over paths. For fixed order each tuple has one path, so they
+		// must agree.
+		if math.Abs(cand.Reach-d.Reach[cand.Tuple.ID]) > 1e-12 {
+			t.Fatalf("tuple %d: walker reach %g, analyzer %g",
+				cand.Tuple.ID, cand.Reach, d.Reach[cand.Tuple.ID])
+		}
+	}
+	// Empirical candidate distribution ~ Reach / CandidatePerWalk.
+	sum := d.Summarize(1)
+	for id := 0; id < db.Size(); id++ {
+		want := d.Reach[id] / sum.CandidatePerWalk
+		got := counts[id] / draws
+		if math.Abs(got-want) > 0.012 {
+			t.Errorf("tuple %d frequency %g, want %g", id, got, want)
+		}
+	}
+	// Queries per walk agree (walks include restarts).
+	gotQPW := totalQueries / walks
+	if math.Abs(gotQPW-d.QueriesPerWalk)/d.QueriesPerWalk > 0.05 {
+		t.Errorf("empirical queries/walk %g, analyzer %g", gotQPW, d.QueriesPerWalk)
+	}
+}
+
+func TestWalkDistUnreachableDuplicates(t *testing.T) {
+	// Ten identical tuples, k=3: only the top 3 by rank are visible.
+	s := hiddendb.MustSchema("dup", hiddendb.BoolAttr("a"), hiddendb.BoolAttr("b"))
+	tuples := make([]hiddendb.Tuple, 10)
+	for i := range tuples {
+		tuples[i] = hiddendb.Tuple{Vals: []int{1, 0}}
+	}
+	db, err := hiddendb.New(s, tuples, hiddendb.StaticRanker{Scores: []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}},
+		hiddendb.Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := WalkDist(db, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Unreachable != 7 {
+		t.Fatalf("unreachable = %d, want 7", d.Unreachable)
+	}
+	// The three visible tuples (IDs 0,1,2 by score) share the a=1,b=0 path.
+	for id := 0; id < 3; id++ {
+		if math.Abs(d.Reach[id]-0.25/3) > 1e-12 {
+			t.Errorf("reach[%d] = %g, want %g", id, d.Reach[id], 0.25/3)
+		}
+	}
+	for id := 3; id < 10; id++ {
+		if d.Reach[id] != 0 {
+			t.Errorf("reach[%d] = %g, want 0", id, d.Reach[id])
+		}
+	}
+}
+
+func TestAverageWalkDistReducesSkew(t *testing.T) {
+	// On a correlated database, shuffling attribute order flattens reach.
+	ds := datagen.CorrelatedBoolean(10, 300, 0.9, 5)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := WalkDist(db, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := AverageWalkDist(db, 5, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fixed.Summarize(1)
+	ss := shuffled.Summarize(1)
+	if ss.Skew >= fs.Skew {
+		t.Errorf("shuffled skew %g not below fixed skew %g", ss.Skew, fs.Skew)
+	}
+}
+
+func TestWalkDistValidation(t *testing.T) {
+	db := fig1DB(t, 1)
+	if _, err := WalkDist(db, []int{0, 0}, 1); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if _, err := WalkDist(db, []int{9}, 1); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+	if _, err := WalkDist(db, nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := AverageWalkDist(db, 1, 0, 1); err == nil {
+		t.Error("orders=0 accepted")
+	}
+}
+
+func TestCountWalkCostMatchesEmpirical(t *testing.T) {
+	ds := datagen.ZipfCategorical([]int{4, 3, 3}, 600, 1.0, 7)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil,
+		hiddendb.Config{K: 100, CountMode: hiddendb.CountExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, upc := range []bool{false, true} {
+		want, err := CountWalkCost(db, nil, 100, upc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		cw, err := core.NewCountWalker(ctx, formclient.NewLocal(db),
+			core.CountWalkerConfig{Seed: 8, UseParentCount: upc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const draws = 4000
+		for i := 0; i < draws; i++ {
+			if _, err := cw.Candidate(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := float64(cw.GenStats().Queries) / draws
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("useParentCount=%v: empirical cost %g, analyzer %g", upc, got, want)
+		}
+	}
+}
+
+func TestBruteForceCost(t *testing.T) {
+	// 6 distinct cells in a 16-cell space -> 16/6 queries per candidate.
+	s := hiddendb.MustSchema("s",
+		hiddendb.BoolAttr("a"), hiddendb.BoolAttr("b"),
+		hiddendb.BoolAttr("c"), hiddendb.BoolAttr("d"))
+	tuples := []hiddendb.Tuple{
+		{Vals: []int{0, 0, 0, 0}}, {Vals: []int{0, 1, 0, 1}}, {Vals: []int{1, 0, 1, 0}},
+		{Vals: []int{1, 1, 1, 1}}, {Vals: []int{0, 0, 1, 1}}, {Vals: []int{1, 1, 0, 0}},
+		{Vals: []int{1, 1, 0, 0}}, // duplicate: same cell
+	}
+	db, err := hiddendb.New(s, tuples, nil, hiddendb.Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BruteForceCost(db); math.Abs(got-16.0/6) > 1e-12 {
+		t.Errorf("BruteForceCost = %g, want %g", got, 16.0/6)
+	}
+}
+
+func TestReachSumsToCandidateProb(t *testing.T) {
+	// Σ reach + deadEnd = 1 for any database without full-depth overflow
+	// losses; with losses Σ reach + deadEnd < 1 is impossible because the
+	// walk always terminates at some node — visible mass may shrink only
+	// through the top-k cut at full depth.
+	ds := datagen.IIDBoolean(8, 200, 0.5, 9)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := WalkDist(db, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := d.DeadEnd
+	for _, r := range d.Reach {
+		total += r
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("probability mass = %g, want 1", total)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hdsampler/internal/core"
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/estimate"
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/history"
+)
+
+// CrawlVsSample reproduces the paper's introductory argument: answering
+// one aggregate question ("the percentage of Japanese cars") from a small
+// sample costs a tiny fraction of crawling the database, and the gap
+// widens with inventory size while the sample cost stays flat.
+func CrawlVsSample(sc Scale) (*Table, error) {
+	sizes := []int{2000, 10000}
+	if sc == ScaleFull {
+		sizes = []int{10000, 50000, 200000}
+	}
+	k := 100
+	const wantSamples = 200
+	ctx := context.Background()
+	t := &Table{
+		ID:      "crawl",
+		Title:   "crawl vs sample: cost to answer '% japanese cars'",
+		Header:  []string{"n (tuples)", "crawl queries", "sample queries", "crawl/sample", "sample answer err"},
+		Metrics: map[string]float64{},
+	}
+	for i, n := range sizes {
+		db, err := vehiclesDB(n, k, hiddendb.CountNone, int64(95+i))
+		if err != nil {
+			return nil, err
+		}
+		// Ground truth.
+		trueJP := 0.0
+		for _, idx := range datagen.JapaneseMakeIndexes() {
+			c, _, _ := db.TrueAggregate(hiddendb.MustQuery(hiddendb.Predicate{Attr: datagen.VehAttrMake, Value: idx}), -1)
+			trueJP += float64(c)
+		}
+		trueJP /= float64(db.Size())
+
+		crawler, err := core.NewCrawler(ctx, formclient.NewLocal(db), core.CrawlerConfig{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := crawler.Run(ctx); err != nil {
+			return nil, err
+		}
+
+		conn := history.New(formclient.NewLocal(db), history.Options{})
+		gen, err := core.NewWalker(ctx, conn, core.WalkerConfig{Seed: int64(96 + i), Order: core.OrderShuffle})
+		if err != nil {
+			return nil, err
+		}
+		samples, cs, err := core.Collect(ctx, gen, nil, wantSamples)
+		if err != nil {
+			return nil, err
+		}
+		jp := 0.0
+		for _, idx := range datagen.JapaneseMakeIndexes() {
+			jp += estimate.Proportion(samples, hiddendb.MustQuery(hiddendb.Predicate{Attr: datagen.VehAttrMake, Value: idx})).Value
+		}
+		ratio := float64(crawler.Queries()) / float64(cs.Queries)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", crawler.Queries()),
+			fmt.Sprintf("%d", cs.Queries),
+			fmtF(ratio),
+			fmtPct(math.Abs(jp-trueJP) / trueJP),
+		})
+		t.Metrics[fmt.Sprintf("crawl/sample@n=%d", n)] = ratio
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("k=%d, %d samples (raw walk + history); crawl cost grows ~n/k·depth while the sample bill is flat in n", k, wantSamples),
+		"reproduces §1: 'crawling a very large hidden database can be extremely expensive ... a very small number of uniform random samples can provide a quite accurate answer'")
+	return t, nil
+}

@@ -1,0 +1,407 @@
+package formclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/htmlx"
+)
+
+// ErrPageFormat reports that a page fetched from the target site did not
+// contain the structure the scraper expects (missing form, status marker or
+// results table).
+var ErrPageFormat = errors.New("formclient: unrecognized page format")
+
+// ErrRateLimited reports that the site kept answering 429 past the retry
+// budget.
+var ErrRateLimited = errors.New("formclient: rate limited beyond retry budget")
+
+// HTTPOptions tunes an HTTP connector.
+type HTTPOptions struct {
+	// Client is the http.Client to use; defaults to a client with a 30s
+	// timeout.
+	Client *http.Client
+	// MaxRetries bounds the number of attempts per query when the site
+	// answers 429 Too Many Requests; defaults to 5.
+	MaxRetries int
+	// MaxRetryWait caps the per-attempt backoff duration; defaults to 5s.
+	MaxRetryWait time.Duration
+	// Politeness inserts a delay before every request after the first —
+	// basic crawler etiquette against production sites. Zero disables it.
+	Politeness time.Duration
+	// FetchAllOverflowPages follows pagination even on overflowing
+	// results. Off by default: an overflow page's rows are never used by
+	// the drill-down (it descends instead), so later pages are wasted
+	// requests; valid results are always assembled completely.
+	FetchAllOverflowPages bool
+	// Sleep is the sleep function for backoff and politeness, overridable
+	// by tests; defaults to a context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// HTTP is a Conn that drives a remote conjunctive web form interface. Its
+// zero value is not usable; construct with NewHTTP.
+type HTTP struct {
+	base string
+	opts HTTPOptions
+
+	mu     sync.Mutex
+	schema *hiddendb.Schema
+
+	queries   atomic.Int64
+	requests  atomic.Int64
+	retries   atomic.Int64
+	requested atomic.Bool // politeness: first request is immediate
+}
+
+// NewHTTP builds a connector for the site rooted at baseURL, e.g.
+// "http://dealer.example.com". The connector performs schema discovery
+// lazily on first use.
+func NewHTTP(baseURL string, opts HTTPOptions) *HTTP {
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 5
+	}
+	if opts.MaxRetryWait <= 0 {
+		opts.MaxRetryWait = 5 * time.Second
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = sleepCtx
+	}
+	return &HTTP{base: strings.TrimRight(baseURL, "/"), opts: opts}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// get fetches a URL with rate-limit retries and returns the body.
+func (h *HTTP) get(ctx context.Context, u string) (string, error) {
+	var lastWait time.Duration
+	for attempt := 0; attempt < h.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			h.retries.Add(1)
+			if err := h.opts.Sleep(ctx, lastWait); err != nil {
+				return "", err
+			}
+		}
+		if h.opts.Politeness > 0 && !h.requested.CompareAndSwap(false, true) {
+			if err := h.opts.Sleep(ctx, h.opts.Politeness); err != nil {
+				return "", err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return "", err
+		}
+		h.requests.Add(1)
+		resp, err := h.opts.Client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return string(body), nil
+		case http.StatusTooManyRequests:
+			lastWait = retryWait(resp, h.opts.MaxRetryWait)
+			continue
+		default:
+			return "", fmt.Errorf("formclient: GET %s: status %d: %s",
+				u, resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+	}
+	return "", fmt.Errorf("%w: %s", ErrRateLimited, u)
+}
+
+// retryWait derives the backoff from the response headers, preferring the
+// millisecond-precision hint, capped at max.
+func retryWait(resp *http.Response, max time.Duration) time.Duration {
+	if ms := resp.Header.Get("X-Retry-After-Ms"); ms != "" {
+		if v, err := strconv.Atoi(ms); err == nil && v > 0 {
+			return minDur(time.Duration(v)*time.Millisecond, max)
+		}
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return minDur(time.Duration(v)*time.Second, max)
+		}
+	}
+	return minDur(200*time.Millisecond, max)
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Schema implements Conn: on first call it fetches the form page, locates
+// the search form, and reconstructs the attribute domains from its select
+// controls, inferring attribute kinds from the option labels (false/true
+// pairs become boolean; contiguous "lo-hi" range labels become numeric
+// with buckets; anything else is categorical).
+func (h *HTTP) Schema(ctx context.Context) (*hiddendb.Schema, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.schema != nil {
+		return h.schema, nil
+	}
+	body, err := h.get(ctx, h.base+"/")
+	if err != nil {
+		return nil, err
+	}
+	root := htmlx.Parse(body)
+	form := htmlx.FormByName(root, "search")
+	if form == nil {
+		return nil, fmt.Errorf("%w: no search form on %s/", ErrPageFormat, h.base)
+	}
+	name := "hidden-database"
+	if titles := root.ByTag("title"); len(titles) > 0 {
+		if t := titles[0].TextContent(); t != "" {
+			name = t
+		}
+	}
+	var attrs []hiddendb.Attribute
+	for _, sel := range form.Selects {
+		if sel.Name == "" {
+			continue
+		}
+		var labels []string
+		for i, opt := range sel.Options {
+			if opt.Value == "" {
+				continue // the "any" wildcard option
+			}
+			idx, err := strconv.Atoi(opt.Value)
+			if err != nil || idx != len(labels) {
+				return nil, fmt.Errorf("%w: select %q option %d has non-sequential value %q",
+					ErrPageFormat, sel.Name, i, opt.Value)
+			}
+			labels = append(labels, opt.Label)
+		}
+		if len(labels) < 2 {
+			continue // not a searchable domain
+		}
+		attrs = append(attrs, inferAttr(sel.Name, labels))
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("%w: search form has no usable selects", ErrPageFormat)
+	}
+	schema, err := hiddendb.NewSchema(name, attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("formclient: discovered schema invalid: %v", err)
+	}
+	h.schema = schema
+	return schema, nil
+}
+
+// inferAttr classifies a discovered domain. Boolean and numeric-range
+// shapes are recognized; everything else stays categorical.
+func inferAttr(name string, labels []string) hiddendb.Attribute {
+	if len(labels) == 2 && labels[0] == "false" && labels[1] == "true" {
+		return hiddendb.BoolAttr(name)
+	}
+	if buckets, ok := parseRangeLabels(labels); ok {
+		a := hiddendb.Attribute{Name: name, Kind: hiddendb.KindNumeric,
+			Values: append([]string(nil), labels...), Buckets: buckets}
+		return a
+	}
+	return hiddendb.CatAttr(name, labels...)
+}
+
+// parseRangeLabels recognizes a contiguous ascending list of "lo-hi"
+// labels, returning the bucket ranges.
+func parseRangeLabels(labels []string) ([]hiddendb.Bucket, bool) {
+	buckets := make([]hiddendb.Bucket, 0, len(labels))
+	for _, l := range labels {
+		dash := strings.Index(l, "-")
+		if dash <= 0 || dash == len(l)-1 {
+			return nil, false
+		}
+		lo, err1 := strconv.ParseFloat(l[:dash], 64)
+		hi, err2 := strconv.ParseFloat(l[dash+1:], 64)
+		if err1 != nil || err2 != nil || hi <= lo {
+			return nil, false
+		}
+		if len(buckets) > 0 && buckets[len(buckets)-1].Hi != lo {
+			return nil, false
+		}
+		buckets = append(buckets, hiddendb.Bucket{Lo: lo, Hi: hi})
+	}
+	return buckets, true
+}
+
+// Execute implements Conn: it submits the query as form parameters and
+// scrapes the result page.
+func (h *HTTP) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+	schema, err := h.Schema(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.ValidateAgainst(schema); err != nil {
+		return nil, err
+	}
+	params := url.Values{}
+	for _, p := range q.Preds() {
+		params.Set(schema.Attrs[p.Attr].Name, strconv.Itoa(p.Value))
+	}
+	u := h.base + "/search"
+	if enc := params.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	body, err := h.get(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	h.queries.Add(1)
+	res, next, err := parseResultPage(schema, body)
+	if err != nil {
+		return nil, err
+	}
+	// Paginated sites split the visible top-k across pages; follow the
+	// "next" links to assemble the full answer. Each page fetch is a real
+	// request (rate limited like any other), but still one logical query.
+	// Overflow answers stop at page one by default: the walk only needs
+	// the overflow flag there, not the rows.
+	if res.Overflow && !h.opts.FetchAllOverflowPages {
+		next = ""
+	}
+	for pages := 0; next != "" && pages < maxResultPages; pages++ {
+		body, err := h.get(ctx, h.base+next)
+		if err != nil {
+			return nil, err
+		}
+		more, n, err := parseResultPage(schema, body)
+		if err != nil {
+			return nil, err
+		}
+		res.Tuples = append(res.Tuples, more.Tuples...)
+		next = n
+	}
+	return res, nil
+}
+
+// maxResultPages bounds pagination loops against misbehaving sites.
+const maxResultPages = 1000
+
+// parseResultPage reads a result page into a hiddendb.Result plus the
+// next-page link when the site paginates (empty when this is the last or
+// only page).
+func parseResultPage(schema *hiddendb.Schema, body string) (*hiddendb.Result, string, error) {
+	root := htmlx.Parse(body)
+	status := root.ByID("status")
+	if status == nil {
+		return nil, "", fmt.Errorf("%w: missing status marker", ErrPageFormat)
+	}
+	res := &hiddendb.Result{Count: hiddendb.CountAbsent}
+	switch ov, _ := status.Attr("data-overflow"); ov {
+	case "true":
+		res.Overflow = true
+	case "false":
+	default:
+		return nil, "", fmt.Errorf("%w: bad overflow marker %q", ErrPageFormat, ov)
+	}
+	if c := root.ByID("count"); c != nil {
+		if v, ok := c.Attr("data-count"); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, "", fmt.Errorf("%w: bad count %q", ErrPageFormat, v)
+			}
+			res.Count = n
+		}
+	}
+	next := ""
+	if a := root.ByID("next"); a != nil {
+		next = a.AttrOr("href", "")
+	}
+	tbl := htmlx.TableByID(root, "results")
+	if tbl == nil {
+		if root.ByID("noresults") == nil && res.Overflow {
+			return nil, "", fmt.Errorf("%w: overflow page without results table", ErrPageFormat)
+		}
+		return res, next, nil
+	}
+	for rowIdx, row := range tbl.Rows {
+		if len(row) != schema.NumAttrs()+1 {
+			return nil, "", fmt.Errorf("%w: row %d has %d cells, want %d",
+				ErrPageFormat, rowIdx, len(row), schema.NumAttrs()+1)
+		}
+		t, err := parseRow(schema, row)
+		if err != nil {
+			return nil, "", fmt.Errorf("row %d: %w", rowIdx, err)
+		}
+		res.Tuples = append(res.Tuples, t)
+	}
+	return res, next, nil
+}
+
+// parseRow converts a result-table row (item link cell + one cell per
+// attribute) back into a tuple.
+func parseRow(schema *hiddendb.Schema, row []htmlx.Cell) (hiddendb.Tuple, error) {
+	t := hiddendb.Tuple{ID: -1}
+	if id, err := strconv.Atoi(strings.TrimPrefix(row[0].Text, "#")); err == nil {
+		t.ID = id
+	}
+	m := schema.NumAttrs()
+	t.Vals = make([]int, m)
+	t.Nums = make([]float64, m)
+	for a := 0; a < m; a++ {
+		t.Nums[a] = math.NaN()
+		attr := &schema.Attrs[a]
+		text := row[a+1].Text
+		if attr.Kind == hiddendb.KindNumeric {
+			if raw, err := strconv.ParseFloat(text, 64); err == nil {
+				b := attr.BucketOf(raw)
+				if b < 0 {
+					return t, fmt.Errorf("%w: value %g outside buckets of %q", ErrPageFormat, raw, attr.Name)
+				}
+				t.Vals[a] = b
+				t.Nums[a] = raw
+				continue
+			}
+			// Fall through: site may render the bucket label itself.
+		}
+		idx := attr.ValueIndex(text)
+		if idx < 0 {
+			return t, fmt.Errorf("%w: unknown label %q for attribute %q", ErrPageFormat, text, attr.Name)
+		}
+		t.Vals[a] = idx
+	}
+	return t, nil
+}
+
+// Stats implements Conn.
+func (h *HTTP) Stats() Stats {
+	return Stats{
+		Queries:          h.queries.Load(),
+		HTTPRequests:     h.requests.Load(),
+		RateLimitRetries: h.retries.Load(),
+	}
+}
+
+var _ Conn = (*HTTP)(nil)

@@ -1,0 +1,60 @@
+package formclient
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/webform"
+)
+
+func TestPolitenessDelay(t *testing.T) {
+	_, srv := vehiclesServer(t, 100, 20, hiddendb.CountNone, webform.Options{})
+	var sleeps atomic.Int64
+	conn := NewHTTP(srv.URL, HTTPOptions{
+		Client:     srv.Client(),
+		Politeness: 50 * time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if d == 50*time.Millisecond {
+				sleeps.Add(1)
+			}
+			return ctx.Err()
+		},
+	})
+	ctx := context.Background()
+	if _, err := conn.Schema(ctx); err != nil { // request 1: no delay
+		t.Fatal(err)
+	}
+	if sleeps.Load() != 0 {
+		t.Fatalf("first request slept %d times", sleeps.Load())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Execute(ctx, hiddendb.EmptyQuery()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sleeps.Load(); got != 3 {
+		t.Fatalf("politeness sleeps = %d, want 3", got)
+	}
+}
+
+func TestPolitenessDisabledByDefault(t *testing.T) {
+	_, srv := vehiclesServer(t, 100, 20, hiddendb.CountNone, webform.Options{})
+	var sleeps atomic.Int64
+	conn := NewHTTP(srv.URL, HTTPOptions{
+		Client: srv.Client(),
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps.Add(1)
+			return ctx.Err()
+		},
+	})
+	ctx := context.Background()
+	if _, err := conn.Execute(ctx, hiddendb.EmptyQuery()); err != nil {
+		t.Fatal(err)
+	}
+	if sleeps.Load() != 0 {
+		t.Fatalf("unexpected sleeps: %d", sleeps.Load())
+	}
+}

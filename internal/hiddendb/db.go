@@ -1,0 +1,381 @@
+package hiddendb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// CountMode selects how the interface reports result counts, matching the
+// three behaviours seen on real sites.
+type CountMode int
+
+const (
+	// CountNone: the interface never reports a count (only the top-k rows
+	// and an overflow flag).
+	CountNone CountMode = iota
+	// CountExact: the interface reports the exact number of matches.
+	CountExact
+	// CountApprox: the interface reports a noisy estimate, as Google Base's
+	// proprietary estimator did; HDSampler ignores these by default.
+	CountApprox
+)
+
+// String returns the mode's name.
+func (m CountMode) String() string {
+	switch m {
+	case CountNone:
+		return "none"
+	case CountExact:
+		return "exact"
+	case CountApprox:
+		return "approx"
+	default:
+		return fmt.Sprintf("countmode(%d)", int(m))
+	}
+}
+
+// Config tunes a DB's interface behaviour.
+type Config struct {
+	// K is the top-k limit: the maximum tuples displayed per query.
+	// Google Base used 1000, MSN Career 4000, MSN Stock Screener 25.
+	K int
+	// CountMode selects count reporting (default CountNone).
+	CountMode CountMode
+	// CountNoise is the maximum multiplicative relative error of
+	// CountApprox estimates, e.g. 0.3 for ±30%. The noise is a
+	// deterministic function of the query, like a fixed proprietary
+	// estimator: asking twice gives the same estimate.
+	CountNoise float64
+	// NoiseSeed seeds the deterministic count noise.
+	NoiseSeed uint64
+	// QueryBudget, when positive, bounds the total number of queries the
+	// interface will answer before returning ErrBudgetExhausted — data
+	// providers commonly cap queries per client.
+	QueryBudget int64
+}
+
+// ErrBudgetExhausted is returned once a DB's QueryBudget is spent.
+var ErrBudgetExhausted = errors.New("hiddendb: query budget exhausted")
+
+// DB is an in-memory hidden database: a tuple store that can only be
+// queried through Execute, which applies conjunctive filtering, top-k
+// truncation under a deterministic ranking, and the configured count
+// reporting. It is safe for concurrent use.
+type DB struct {
+	schema *Schema
+	cfg    Config
+	ranker Ranker
+
+	// tuples in insertion order; IDs are positions here.
+	tuples []Tuple
+	// rankPos[id] is the tuple's position in the global rank order
+	// (0 = best). byRank is the inverse permutation.
+	rankPos []int32
+	byRank  []int32
+	// postings[attr][value] lists matching tuples as rank positions,
+	// ascending, so intersections stream out in rank order.
+	postings [][][]int32
+
+	queries atomic.Int64
+}
+
+// New builds a DB over the given tuples. Tuples are validated against the
+// schema; their IDs are overwritten with their positions. The ranker
+// defaults to HashRanker{Seed:1} and K to 100 when unset.
+func New(schema *Schema, tuples []Tuple, ranker Ranker, cfg Config) (*DB, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tuples) == 0 {
+		return nil, errors.New("hiddendb: empty database")
+	}
+	if ranker == nil {
+		ranker = HashRanker{Seed: 1}
+	}
+	if cfg.K <= 0 {
+		cfg.K = 100
+	}
+	if cfg.CountNoise < 0 || cfg.CountNoise >= 1 {
+		return nil, fmt.Errorf("hiddendb: CountNoise %g outside [0,1)", cfg.CountNoise)
+	}
+	db := &DB{schema: schema, cfg: cfg, ranker: ranker, tuples: tuples}
+	m := len(schema.Attrs)
+	for i := range db.tuples {
+		t := &db.tuples[i]
+		t.ID = i
+		if len(t.Vals) != m {
+			return nil, fmt.Errorf("hiddendb: tuple %d has %d values for %d attributes", i, len(t.Vals), m)
+		}
+		for a, v := range t.Vals {
+			if v < 0 || v >= schema.DomainSize(a) {
+				return nil, fmt.Errorf("hiddendb: tuple %d attribute %q value %d out of domain [0,%d)",
+					i, schema.Attrs[a].Name, v, schema.DomainSize(a))
+			}
+		}
+		if t.Nums != nil && len(t.Nums) != m {
+			return nil, fmt.Errorf("hiddendb: tuple %d has %d numeric payloads for %d attributes", i, len(t.Nums), m)
+		}
+	}
+	db.buildRank()
+	db.buildPostings()
+	return db, nil
+}
+
+func (db *DB) buildRank() {
+	n := len(db.tuples)
+	scores := make([]float64, n)
+	for i := range db.tuples {
+		scores[i] = db.ranker.Score(&db.tuples[i])
+	}
+	db.byRank = make([]int32, n)
+	for i := range db.byRank {
+		db.byRank[i] = int32(i)
+	}
+	sort.SliceStable(db.byRank, func(i, j int) bool {
+		a, b := db.byRank[i], db.byRank[j]
+		if scores[a] != scores[b] {
+			return scores[a] > scores[b] // higher score ranks earlier
+		}
+		return a < b
+	})
+	db.rankPos = make([]int32, n)
+	for pos, id := range db.byRank {
+		db.rankPos[id] = int32(pos)
+	}
+}
+
+func (db *DB) buildPostings() {
+	m := len(db.schema.Attrs)
+	db.postings = make([][][]int32, m)
+	for a := 0; a < m; a++ {
+		db.postings[a] = make([][]int32, db.schema.DomainSize(a))
+	}
+	for id := range db.tuples {
+		pos := db.rankPos[id]
+		for a, v := range db.tuples[id].Vals {
+			db.postings[a][v] = append(db.postings[a][v], pos)
+		}
+	}
+	for a := range db.postings {
+		for v := range db.postings[a] {
+			p := db.postings[a][v]
+			sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+		}
+	}
+}
+
+// Schema returns the database schema.
+func (db *DB) Schema() *Schema { return db.schema }
+
+// K returns the interface's top-k limit.
+func (db *DB) K() int { return db.cfg.K }
+
+// CountMode returns the interface's count reporting mode.
+func (db *DB) CountMode() CountMode { return db.cfg.CountMode }
+
+// Size returns the number of tuples (hidden from interface clients; used by
+// experiments for ground truth).
+func (db *DB) Size() int { return len(db.tuples) }
+
+// QueriesServed returns the number of Execute calls answered so far.
+func (db *DB) QueriesServed() int64 { return db.queries.Load() }
+
+// ResetBudget reopens a budget-exhausted database (used between experiment
+// runs that share a server).
+func (db *DB) ResetBudget() { db.queries.Store(0) }
+
+// Execute answers one conjunctive query through the restricted interface:
+// the top-k matches in rank order, the overflow flag, and a count according
+// to the configured CountMode. This is the only read path a client has.
+func (db *DB) Execute(q Query) (*Result, error) {
+	if err := q.ValidateAgainst(db.schema); err != nil {
+		return nil, err
+	}
+	n := db.queries.Add(1)
+	if db.cfg.QueryBudget > 0 && n > db.cfg.QueryBudget {
+		return nil, ErrBudgetExhausted
+	}
+	matchPos, total := db.matchPositions(q, db.cfg.K+1)
+	res := &Result{Count: CountAbsent}
+	if total > db.cfg.K {
+		res.Overflow = true
+		matchPos = matchPos[:db.cfg.K]
+	}
+	res.Tuples = make([]Tuple, len(matchPos))
+	for i, pos := range matchPos {
+		res.Tuples[i] = db.tuples[db.byRank[pos]].Clone()
+	}
+	switch db.cfg.CountMode {
+	case CountExact:
+		res.Count = db.exactCount(q, total)
+	case CountApprox:
+		res.Count = db.approxCount(q, total)
+	}
+	return res, nil
+}
+
+// matchPositions returns the first limit matching rank positions in rank
+// order, plus the total number found while scanning (capped at limit, so
+// total > K iff there are more than K matches when limit = K+1). When the
+// count mode needs exact totals, exactCount re-derives them.
+func (db *DB) matchPositions(q Query, limit int) (pos []int32, total int) {
+	preds := q.Preds()
+	if len(preds) == 0 {
+		n := len(db.tuples)
+		if n > limit {
+			n = limit
+		}
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out, n
+	}
+	// Intersect posting lists, seeded from the shortest.
+	lists := make([][]int32, len(preds))
+	for i, p := range preds {
+		lists[i] = db.postings[p.Attr][p.Value]
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := make([]int32, 0, min(limit, len(lists[0])))
+outer:
+	for _, candidate := range lists[0] {
+		for _, l := range lists[1:] {
+			if !containsSorted(l, candidate) {
+				continue outer
+			}
+		}
+		out = append(out, candidate)
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out, len(out)
+}
+
+// containsSorted reports whether x occurs in the ascending slice l.
+func containsSorted(l []int32, x int32) bool {
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= x })
+	return i < len(l) && l[i] == x
+}
+
+// TrueCount returns the exact number of tuples matching q, bypassing the
+// interface; experiments use it for ground truth, never the samplers.
+func (db *DB) TrueCount(q Query) int {
+	preds := q.Preds()
+	if len(preds) == 0 {
+		return len(db.tuples)
+	}
+	lists := make([][]int32, len(preds))
+	for i, p := range preds {
+		lists[i] = db.postings[p.Attr][p.Value]
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	count := 0
+outer:
+	for _, candidate := range lists[0] {
+		for _, l := range lists[1:] {
+			if !containsSorted(l, candidate) {
+				continue outer
+			}
+		}
+		count++
+	}
+	return count
+}
+
+func (db *DB) exactCount(q Query, scanned int) int {
+	if scanned <= db.cfg.K { // scan already saw everything
+		return scanned
+	}
+	return db.TrueCount(q)
+}
+
+// approxCount perturbs the exact count by a deterministic multiplicative
+// factor in [1-noise, 1+noise] derived from the query key, modelling a
+// fixed proprietary estimator. Zero counts stay zero (sites say "no
+// results" reliably).
+func (db *DB) approxCount(q Query, scanned int) int {
+	exact := db.exactCount(q, scanned)
+	if exact == 0 || db.cfg.CountNoise == 0 {
+		return exact
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	putUint64(seed[:], db.cfg.NoiseSeed)
+	h.Write(seed[:])
+	h.Write([]byte(q.Key()))
+	u := float64(h.Sum64()>>11) / float64(1<<53) // uniform [0,1)
+	factor := 1 + db.cfg.CountNoise*(2*u-1)
+	est := int(math.Round(float64(exact) * factor))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// Tuple returns tuple id by value (ground-truth access for experiments).
+func (db *DB) Tuple(id int) Tuple {
+	return db.tuples[id].Clone()
+}
+
+// RankOrder returns all tuple IDs in global rank order (best first) — a
+// ground-truth accessor used by the exact walk-distribution analyzer,
+// never by samplers.
+func (db *DB) RankOrder() []int {
+	out := make([]int, len(db.byRank))
+	for i, id := range db.byRank {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// ValsByRank returns each tuple's value vector, ordered by rank (row i is
+// the i-th ranked tuple). Ground truth for the exact analyzer; the rows
+// alias internal storage and must not be mutated.
+func (db *DB) ValsByRank() ([][]int, []int) {
+	vals := make([][]int, len(db.byRank))
+	ids := make([]int, len(db.byRank))
+	for i, id := range db.byRank {
+		vals[i] = db.tuples[id].Vals
+		ids[i] = int(id)
+	}
+	return vals, ids
+}
+
+// TrueMarginal returns the exact distribution of attribute attr over the
+// whole database as counts per value index — the ground truth the demo's
+// Figure 4 histograms are validated against.
+func (db *DB) TrueMarginal(attr int) []int {
+	counts := make([]int, db.schema.DomainSize(attr))
+	for i := range db.tuples {
+		counts[db.tuples[i].Vals[attr]]++
+	}
+	return counts
+}
+
+// TrueAggregate computes COUNT, SUM and AVG of numeric attribute attr over
+// tuples matching q, bypassing the interface. When attr is negative only
+// COUNT is meaningful and SUM/AVG are zero.
+func (db *DB) TrueAggregate(q Query, attr int) (count int, sum, avg float64) {
+	for i := range db.tuples {
+		t := &db.tuples[i]
+		if !q.Matches(t.Vals) {
+			continue
+		}
+		count++
+		if attr >= 0 {
+			if v, ok := t.Num(attr); ok {
+				sum += v
+			}
+		}
+	}
+	if count > 0 {
+		avg = sum / float64(count)
+	}
+	return count, sum, avg
+}

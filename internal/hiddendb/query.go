@@ -1,0 +1,234 @@
+package hiddendb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Predicate is one equality constraint "attribute == value", both sides by
+// index into the schema.
+type Predicate struct {
+	Attr  int
+	Value int
+}
+
+// Query is a conjunction of equality predicates, the only query shape a
+// conjunctive web form interface supports. Predicates are kept sorted by
+// attribute index with at most one predicate per attribute, which gives
+// every query a unique canonical form.
+type Query struct {
+	preds []Predicate
+}
+
+// NewQuery builds a query from predicates. It returns an error when an
+// attribute appears twice; predicate order does not matter.
+func NewQuery(preds ...Predicate) (Query, error) {
+	q := Query{preds: append([]Predicate(nil), preds...)}
+	sort.Slice(q.preds, func(i, j int) bool { return q.preds[i].Attr < q.preds[j].Attr })
+	for i := 1; i < len(q.preds); i++ {
+		if q.preds[i].Attr == q.preds[i-1].Attr {
+			return Query{}, fmt.Errorf("hiddendb: duplicate predicate on attribute %d", q.preds[i].Attr)
+		}
+	}
+	return q, nil
+}
+
+// MustQuery is NewQuery that panics on error.
+func MustQuery(preds ...Predicate) Query {
+	q, err := NewQuery(preds...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// EmptyQuery returns the unconstrained query (SELECT *).
+func EmptyQuery() Query { return Query{} }
+
+// Len returns the number of predicates.
+func (q Query) Len() int { return len(q.preds) }
+
+// Preds returns a copy of the predicate list in canonical order.
+func (q Query) Preds() []Predicate { return append([]Predicate(nil), q.preds...) }
+
+// Value returns the value constrained for attribute attr and whether the
+// query constrains it at all.
+func (q Query) Value(attr int) (int, bool) {
+	i := sort.Search(len(q.preds), func(i int) bool { return q.preds[i].Attr >= attr })
+	if i < len(q.preds) && q.preds[i].Attr == attr {
+		return q.preds[i].Value, true
+	}
+	return 0, false
+}
+
+// HasAttr reports whether attr is constrained.
+func (q Query) HasAttr(attr int) bool {
+	_, ok := q.Value(attr)
+	return ok
+}
+
+// With returns a new query extended by attr == value. It panics if attr is
+// already constrained: the random walk only ever lengthens a query with
+// fresh attributes, so a duplicate indicates a programming error.
+func (q Query) With(attr, value int) Query {
+	if q.HasAttr(attr) {
+		panic(fmt.Sprintf("hiddendb: query already constrains attribute %d", attr))
+	}
+	np := make([]Predicate, 0, len(q.preds)+1)
+	inserted := false
+	for _, p := range q.preds {
+		if !inserted && attr < p.Attr {
+			np = append(np, Predicate{attr, value})
+			inserted = true
+		}
+		np = append(np, p)
+	}
+	if !inserted {
+		np = append(np, Predicate{attr, value})
+	}
+	return Query{preds: np}
+}
+
+// Without returns a copy of the query with the predicate on attr removed.
+// Removing an unconstrained attribute is a no-op.
+func (q Query) Without(attr int) Query {
+	np := make([]Predicate, 0, len(q.preds))
+	for _, p := range q.preds {
+		if p.Attr != attr {
+			np = append(np, p)
+		}
+	}
+	return Query{preds: np}
+}
+
+// Matches reports whether tuple values vals satisfy every predicate.
+func (q Query) Matches(vals []int) bool {
+	for _, p := range q.preds {
+		if p.Attr >= len(vals) || vals[p.Attr] != p.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether q's predicate set is a subset of o's, i.e. every
+// tuple matching o also matches q (q is an ancestor of o in the query
+// tree). Every query contains itself.
+func (q Query) Contains(o Query) bool {
+	if len(q.preds) > len(o.preds) {
+		return false
+	}
+	for _, p := range q.preds {
+		v, ok := o.Value(p.Attr)
+		if !ok || v != p.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns the canonical string form "a=v&a=v&..." with attributes in
+// increasing order: equal queries always produce equal keys, which the
+// history cache uses for memoization.
+func (q Query) Key() string {
+	if len(q.preds) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, p := range q.preds {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(strconv.Itoa(p.Attr))
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(p.Value))
+	}
+	return b.String()
+}
+
+// ParseQueryKey parses a canonical key back into a Query; it is the inverse
+// of Key and validates attribute/value bounds against the schema.
+func ParseQueryKey(s *Schema, key string) (Query, error) {
+	if key == "" {
+		return EmptyQuery(), nil
+	}
+	parts := strings.Split(key, "&")
+	preds := make([]Predicate, 0, len(parts))
+	for _, part := range parts {
+		av := strings.SplitN(part, "=", 2)
+		if len(av) != 2 {
+			return Query{}, fmt.Errorf("hiddendb: malformed query key part %q", part)
+		}
+		attr, err := strconv.Atoi(av[0])
+		if err != nil {
+			return Query{}, fmt.Errorf("hiddendb: bad attribute in key part %q: %v", part, err)
+		}
+		val, err := strconv.Atoi(av[1])
+		if err != nil {
+			return Query{}, fmt.Errorf("hiddendb: bad value in key part %q: %v", part, err)
+		}
+		preds = append(preds, Predicate{attr, val})
+	}
+	q, err := NewQuery(preds...)
+	if err != nil {
+		return Query{}, err
+	}
+	if err := q.ValidateAgainst(s); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// ValidateAgainst checks that every predicate references a real attribute
+// and an in-domain value of the schema.
+func (q Query) ValidateAgainst(s *Schema) error {
+	for _, p := range q.preds {
+		if p.Attr < 0 || p.Attr >= len(s.Attrs) {
+			return fmt.Errorf("hiddendb: predicate attribute %d out of range [0,%d)", p.Attr, len(s.Attrs))
+		}
+		if p.Value < 0 || p.Value >= len(s.Attrs[p.Attr].Values) {
+			return fmt.Errorf("hiddendb: predicate value %d out of range for attribute %q (domain %d)",
+				p.Value, s.Attrs[p.Attr].Name, len(s.Attrs[p.Attr].Values))
+		}
+	}
+	return nil
+}
+
+// String renders the query with schema-free indices, e.g. "{2=1, 5=0}".
+func (q Query) String() string {
+	if len(q.preds) == 0 {
+		return "{*}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range q.preds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d=%d", p.Attr, p.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Describe renders the query with attribute and value labels from the
+// schema, e.g. "make='toyota' AND color='red'"; used by logs and the UI.
+func (q Query) Describe(s *Schema) string {
+	if len(q.preds) == 0 {
+		return "TRUE"
+	}
+	var b strings.Builder
+	for i, p := range q.preds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		if p.Attr < len(s.Attrs) && p.Value < len(s.Attrs[p.Attr].Values) {
+			fmt.Fprintf(&b, "%s='%s'", s.Attrs[p.Attr].Name, s.Attrs[p.Attr].Values[p.Value])
+		} else {
+			fmt.Fprintf(&b, "%d=%d", p.Attr, p.Value)
+		}
+	}
+	return b.String()
+}

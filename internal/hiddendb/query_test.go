@@ -1,0 +1,227 @@
+package hiddendb
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewQueryCanonicalOrder(t *testing.T) {
+	q, err := NewQuery(Predicate{3, 1}, Predicate{0, 2}, Predicate{1, 0})
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	want := []Predicate{{0, 2}, {1, 0}, {3, 1}}
+	if !reflect.DeepEqual(q.Preds(), want) {
+		t.Fatalf("Preds = %v, want %v", q.Preds(), want)
+	}
+}
+
+func TestNewQueryDuplicateAttr(t *testing.T) {
+	if _, err := NewQuery(Predicate{1, 0}, Predicate{1, 1}); err == nil {
+		t.Fatal("expected duplicate-attribute error")
+	}
+}
+
+func TestQueryValueAndHasAttr(t *testing.T) {
+	q := MustQuery(Predicate{2, 5}, Predicate{7, 1})
+	if v, ok := q.Value(2); !ok || v != 5 {
+		t.Errorf("Value(2) = %d,%v", v, ok)
+	}
+	if _, ok := q.Value(3); ok {
+		t.Error("Value(3) should be absent")
+	}
+	if !q.HasAttr(7) || q.HasAttr(0) {
+		t.Error("HasAttr wrong")
+	}
+}
+
+func TestQueryWith(t *testing.T) {
+	q := EmptyQuery().With(5, 1).With(2, 3).With(9, 0)
+	want := []Predicate{{2, 3}, {5, 1}, {9, 0}}
+	if !reflect.DeepEqual(q.Preds(), want) {
+		t.Fatalf("Preds = %v, want %v", q.Preds(), want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With on constrained attribute did not panic")
+		}
+	}()
+	q.With(5, 0)
+}
+
+func TestQueryWithDoesNotMutate(t *testing.T) {
+	base := MustQuery(Predicate{1, 1})
+	ext := base.With(0, 0)
+	if base.Len() != 1 {
+		t.Fatalf("base mutated: %v", base)
+	}
+	if ext.Len() != 2 {
+		t.Fatalf("ext wrong: %v", ext)
+	}
+}
+
+func TestQueryWithout(t *testing.T) {
+	q := MustQuery(Predicate{1, 1}, Predicate{2, 2})
+	r := q.Without(1)
+	if r.Len() != 1 || r.HasAttr(1) || !r.HasAttr(2) {
+		t.Fatalf("Without(1) = %v", r)
+	}
+	if q.Without(9).Len() != 2 {
+		t.Error("Without of absent attribute changed query")
+	}
+}
+
+func TestQueryMatches(t *testing.T) {
+	q := MustQuery(Predicate{0, 1}, Predicate{2, 0})
+	if !q.Matches([]int{1, 9, 0}) {
+		t.Error("should match")
+	}
+	if q.Matches([]int{0, 9, 0}) {
+		t.Error("should not match (attr 0)")
+	}
+	if q.Matches([]int{1, 9}) {
+		t.Error("short tuple should not match")
+	}
+	if !EmptyQuery().Matches([]int{5}) {
+		t.Error("empty query matches everything")
+	}
+}
+
+func TestQueryContains(t *testing.T) {
+	parent := MustQuery(Predicate{0, 1})
+	child := MustQuery(Predicate{0, 1}, Predicate{3, 2})
+	other := MustQuery(Predicate{0, 2}, Predicate{3, 2})
+	if !parent.Contains(child) {
+		t.Error("parent should contain child")
+	}
+	if child.Contains(parent) {
+		t.Error("child should not contain parent")
+	}
+	if parent.Contains(other) {
+		t.Error("different value should not be contained")
+	}
+	if !parent.Contains(parent) {
+		t.Error("query should contain itself")
+	}
+	if !EmptyQuery().Contains(parent) {
+		t.Error("empty query contains everything")
+	}
+}
+
+func TestQueryKeyRoundTrip(t *testing.T) {
+	s := MustSchema("s", BoolAttr("a"), CatAttr("b", "x", "y", "z"), BoolAttr("c"))
+	q := MustQuery(Predicate{1, 2}, Predicate{0, 1})
+	key := q.Key()
+	if key != "0=1&1=2" {
+		t.Fatalf("Key = %q", key)
+	}
+	back, err := ParseQueryKey(s, key)
+	if err != nil {
+		t.Fatalf("ParseQueryKey: %v", err)
+	}
+	if back.Key() != key {
+		t.Fatalf("round trip %q -> %q", key, back.Key())
+	}
+	if e, err := ParseQueryKey(s, ""); err != nil || e.Len() != 0 {
+		t.Fatalf("empty key parse: %v %v", e, err)
+	}
+}
+
+func TestParseQueryKeyErrors(t *testing.T) {
+	s := MustSchema("s", BoolAttr("a"))
+	for _, bad := range []string{"0", "x=1", "0=x", "0=5", "5=0", "0=-1"} {
+		if _, err := ParseQueryKey(s, bad); err == nil {
+			t.Errorf("ParseQueryKey(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestQueryStringAndDescribe(t *testing.T) {
+	s := MustSchema("cars", CatAttr("make", "toyota", "honda"), BoolAttr("used"))
+	q := MustQuery(Predicate{0, 1}, Predicate{1, 0})
+	if q.String() != "{0=1, 1=0}" {
+		t.Errorf("String = %q", q.String())
+	}
+	if got := q.Describe(s); got != "make='honda' AND used='false'" {
+		t.Errorf("Describe = %q", got)
+	}
+	if EmptyQuery().String() != "{*}" || EmptyQuery().Describe(s) != "TRUE" {
+		t.Error("empty renders wrong")
+	}
+	// Out-of-schema predicates degrade to indices rather than panicking.
+	weird := MustQuery(Predicate{7, 9})
+	if !strings.Contains(weird.Describe(s), "7=9") {
+		t.Errorf("Describe out-of-schema = %q", weird.Describe(s))
+	}
+}
+
+func TestQueryValidateAgainst(t *testing.T) {
+	s := MustSchema("s", BoolAttr("a"), CatAttr("b", "x", "y"))
+	if err := MustQuery(Predicate{1, 1}).ValidateAgainst(s); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := MustQuery(Predicate{2, 0}).ValidateAgainst(s); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if err := MustQuery(Predicate{1, 2}).ValidateAgainst(s); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+// Property: Key/ParseQueryKey round-trips for arbitrary valid queries.
+func TestQueryKeyRoundTripProperty(t *testing.T) {
+	s := MustSchema("s",
+		CatAttr("a", "0", "1", "2"),
+		CatAttr("b", "0", "1", "2", "3"),
+		BoolAttr("c"),
+		CatAttr("d", "0", "1", "2", "3", "4"))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := EmptyQuery()
+		for a := 0; a < s.NumAttrs(); a++ {
+			if rng.Intn(2) == 0 {
+				q = q.With(a, rng.Intn(s.DomainSize(a)))
+			}
+		}
+		back, err := ParseQueryKey(s, q.Key())
+		return err == nil && back.Key() == q.Key() && back.Len() == q.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Contains is consistent with Matches — if parent Contains child,
+// every tuple matching child matches parent.
+func TestContainsConsistentWithMatchesProperty(t *testing.T) {
+	s := MustSchema("s", CatAttr("a", "0", "1", "2"), CatAttr("b", "0", "1", "2"), BoolAttr("c"))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		randQ := func() Query {
+			q := EmptyQuery()
+			for a := 0; a < s.NumAttrs(); a++ {
+				if rng.Intn(2) == 0 {
+					q = q.With(a, rng.Intn(s.DomainSize(a)))
+				}
+			}
+			return q
+		}
+		p, c := randQ(), randQ()
+		if !p.Contains(c) {
+			return true // vacuous
+		}
+		for trial := 0; trial < 20; trial++ {
+			vals := []int{rng.Intn(3), rng.Intn(3), rng.Intn(2)}
+			if c.Matches(vals) && !p.Matches(vals) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

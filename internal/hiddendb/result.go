@@ -1,0 +1,72 @@
+package hiddendb
+
+import "math"
+
+// Tuple is one row of the hidden database as seen through the interface:
+// the value index of each attribute plus, for numeric attributes, the raw
+// value the site displays (price in dollars, not just a price band).
+type Tuple struct {
+	// ID is the tuple's position in the backing table. The web form never
+	// exposes it; connectors synthesize stable IDs from row content.
+	ID int
+	// Vals holds one domain-value index per schema attribute.
+	Vals []int
+	// Nums holds raw numeric values aligned with schema attributes; NaN for
+	// non-numeric attributes. May be nil when the schema has no numeric
+	// attributes.
+	Nums []float64
+}
+
+// Num returns the raw numeric value of attribute i and whether one exists.
+func (t *Tuple) Num(i int) (float64, bool) {
+	if i < len(t.Nums) && !math.IsNaN(t.Nums[i]) {
+		return t.Nums[i], true
+	}
+	return 0, false
+}
+
+// Clone deep-copies the tuple.
+func (t *Tuple) Clone() Tuple {
+	return Tuple{
+		ID:   t.ID,
+		Vals: append([]int(nil), t.Vals...),
+		Nums: append([]float64(nil), t.Nums...),
+	}
+}
+
+// CountAbsent marks Result.Count when the interface does not report counts.
+const CountAbsent = -1
+
+// Result is the interface's answer to one conjunctive query.
+type Result struct {
+	// Tuples holds the top-k matching tuples in rank order; at most k.
+	Tuples []Tuple
+	// Overflow is the interface's "not all qualifying tuples are shown"
+	// notification: more than k tuples matched.
+	Overflow bool
+	// Count is the number of matching tuples as reported by the interface:
+	// exact, a noisy estimate, or CountAbsent depending on the interface's
+	// CountMode. It is reported even for overflowing queries (as Google
+	// Base did).
+	Count int
+}
+
+// Returned is the number of tuples in the visible result page.
+func (r *Result) Returned() int { return len(r.Tuples) }
+
+// Empty reports an underflow: no tuple matched.
+func (r *Result) Empty() bool { return len(r.Tuples) == 0 && !r.Overflow }
+
+// Valid reports a non-overflow, non-empty answer — the stopping condition
+// of the random drill-down: between 1 and k tuples, all visible.
+func (r *Result) Valid() bool { return len(r.Tuples) > 0 && !r.Overflow }
+
+// Clone deep-copies the result.
+func (r *Result) Clone() *Result {
+	c := &Result{Overflow: r.Overflow, Count: r.Count}
+	c.Tuples = make([]Tuple, len(r.Tuples))
+	for i := range r.Tuples {
+		c.Tuples[i] = r.Tuples[i].Clone()
+	}
+	return c
+}

@@ -1,0 +1,281 @@
+// Package hiddendb implements the back-end hidden database substrate: a
+// relational table reachable only through a conjunctive top-k query
+// interface, exactly the access model HDSampler (SIGMOD 2009) samples
+// through. It provides schemas with boolean, categorical and bucketed
+// numeric attributes, pluggable deterministic ranking functions, overflow
+// and underflow classification, and exact / approximate / absent COUNT
+// reporting, mirroring interfaces such as Google Base (k = 1000,
+// approximate counts).
+package hiddendb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind identifies how an attribute's domain is presented by the form
+// interface.
+type Kind int
+
+const (
+	// KindBool is a two-valued attribute rendered as false/true.
+	KindBool Kind = iota
+	// KindCategorical is a finite labelled domain (e.g. vehicle make).
+	KindCategorical
+	// KindNumeric is a continuous attribute exposed by the form as a fixed
+	// set of range buckets (e.g. price bands), the way real web forms
+	// present price or mileage. Tuples carry the raw numeric value too, so
+	// SUM/AVG aggregates can be estimated from samples.
+	KindNumeric
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindCategorical:
+		return "categorical"
+	case KindNumeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Bucket is a half-open numeric range [Lo, Hi) used by KindNumeric
+// attributes. The final bucket of an attribute is closed at Hi.
+type Bucket struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x falls inside the bucket, treating the bucket
+// as [Lo, Hi). Callers that need the closed last bucket use
+// Attribute.BucketOf which special-cases the end.
+func (b Bucket) Contains(x float64) bool {
+	return x >= b.Lo && x < b.Hi
+}
+
+// Label renders the bucket as "lo-hi" with compact integer formatting.
+func (b Bucket) Label() string {
+	return fmt.Sprintf("%s-%s", compactNum(b.Lo), compactNum(b.Hi))
+}
+
+func compactNum(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Attribute describes one searchable field of the hidden database.
+type Attribute struct {
+	// Name is the attribute's label, also used as the form field name.
+	Name string
+	// Kind determines how Values was derived.
+	Kind Kind
+	// Values holds the domain labels, in form-option order. For KindBool it
+	// is always ["false","true"]; for KindNumeric it is the bucket labels.
+	Values []string
+	// Buckets holds the numeric ranges for KindNumeric attributes, aligned
+	// with Values. Empty otherwise.
+	Buckets []Bucket
+}
+
+// DomainSize returns the number of selectable values.
+func (a *Attribute) DomainSize() int { return len(a.Values) }
+
+// ValueIndex returns the index of label within the attribute domain, or -1.
+func (a *Attribute) ValueIndex(label string) int {
+	for i, v := range a.Values {
+		if v == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// BucketOf maps a raw numeric value to its bucket index. The last bucket is
+// closed on the right so the domain maximum belongs to it. Returns -1 when
+// x lies outside every bucket.
+func (a *Attribute) BucketOf(x float64) int {
+	for i, b := range a.Buckets {
+		if b.Contains(x) {
+			return i
+		}
+		if i == len(a.Buckets)-1 && x == b.Hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// BoolAttr constructs a boolean attribute.
+func BoolAttr(name string) Attribute {
+	return Attribute{Name: name, Kind: KindBool, Values: []string{"false", "true"}}
+}
+
+// CatAttr constructs a categorical attribute with the given domain labels.
+func CatAttr(name string, values ...string) Attribute {
+	return Attribute{Name: name, Kind: KindCategorical, Values: values}
+}
+
+// NumAttr constructs a numeric attribute bucketed at the given cut points.
+// cuts must be strictly increasing and produce len(cuts)-1 buckets.
+func NumAttr(name string, cuts ...float64) Attribute {
+	a := Attribute{Name: name, Kind: KindNumeric}
+	for i := 0; i+1 < len(cuts); i++ {
+		b := Bucket{Lo: cuts[i], Hi: cuts[i+1]}
+		a.Buckets = append(a.Buckets, b)
+		a.Values = append(a.Values, b.Label())
+	}
+	return a
+}
+
+// Schema is the full description of a hidden database's search interface:
+// its name and the ordered list of searchable attributes.
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+}
+
+// NewSchema builds and validates a schema.
+func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
+	s := &Schema{Name: name, Attrs: attrs}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and generators
+// with statically known-good inputs.
+func MustSchema(name string, attrs ...Attribute) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks structural invariants: at least one attribute, unique
+// non-empty attribute names, every domain non-trivial, bucket lists aligned
+// and strictly increasing.
+func (s *Schema) Validate() error {
+	if s == nil {
+		return fmt.Errorf("hiddendb: nil schema")
+	}
+	if len(s.Attrs) == 0 {
+		return fmt.Errorf("hiddendb: schema %q has no attributes", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Attrs))
+	for i := range s.Attrs {
+		a := &s.Attrs[i]
+		if a.Name == "" {
+			return fmt.Errorf("hiddendb: attribute %d has empty name", i)
+		}
+		if strings.ContainsAny(a.Name, "=&\n") {
+			return fmt.Errorf("hiddendb: attribute %q contains reserved characters", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("hiddendb: duplicate attribute name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Values) < 2 {
+			return fmt.Errorf("hiddendb: attribute %q has domain size %d; need >= 2", a.Name, len(a.Values))
+		}
+		vseen := make(map[string]bool, len(a.Values))
+		for _, v := range a.Values {
+			if vseen[v] {
+				return fmt.Errorf("hiddendb: attribute %q has duplicate value %q", a.Name, v)
+			}
+			vseen[v] = true
+		}
+		if a.Kind == KindNumeric {
+			if len(a.Buckets) != len(a.Values) {
+				return fmt.Errorf("hiddendb: attribute %q has %d buckets for %d values", a.Name, len(a.Buckets), len(a.Values))
+			}
+			for j, b := range a.Buckets {
+				if b.Hi <= b.Lo {
+					return fmt.Errorf("hiddendb: attribute %q bucket %d empty: [%g,%g)", a.Name, j, b.Lo, b.Hi)
+				}
+				if j > 0 && a.Buckets[j-1].Hi != b.Lo {
+					return fmt.Errorf("hiddendb: attribute %q buckets %d,%d not contiguous", a.Name, j-1, j)
+				}
+			}
+		} else if len(a.Buckets) != 0 {
+			return fmt.Errorf("hiddendb: attribute %q is %v but has buckets", a.Name, a.Kind)
+		}
+	}
+	return nil
+}
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i := range s.Attrs {
+		if s.Attrs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DomainSize returns the domain size of attribute i.
+func (s *Schema) DomainSize(i int) int { return len(s.Attrs[i].Values) }
+
+// SpaceSize returns the size of the full cross-product domain space as a
+// float64 (it overflows int64 quickly: it is the denominator of the
+// BRUTE-FORCE-SAMPLER's hit probability).
+func (s *Schema) SpaceSize() float64 {
+	size := 1.0
+	for i := range s.Attrs {
+		size *= float64(len(s.Attrs[i].Values))
+	}
+	return size
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Name: s.Name, Attrs: make([]Attribute, len(s.Attrs))}
+	for i, a := range s.Attrs {
+		na := a
+		na.Values = append([]string(nil), a.Values...)
+		na.Buckets = append([]Bucket(nil), a.Buckets...)
+		c.Attrs[i] = na
+	}
+	return c
+}
+
+// Equal reports whether two schemas describe the same interface.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Name != o.Name || len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		a, b := &s.Attrs[i], &o.Attrs[i]
+		if a.Name != b.Name || a.Kind != b.Kind || len(a.Values) != len(b.Values) {
+			return false
+		}
+		for j := range a.Values {
+			if a.Values[j] != b.Values[j] {
+				return false
+			}
+		}
+		if len(a.Buckets) != len(b.Buckets) {
+			return false
+		}
+		for j := range a.Buckets {
+			if a.Buckets[j] != b.Buckets[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

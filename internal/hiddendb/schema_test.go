@@ -1,0 +1,177 @@
+package hiddendb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoolAttr(t *testing.T) {
+	a := BoolAttr("sunroof")
+	if a.Kind != KindBool {
+		t.Fatalf("kind = %v, want bool", a.Kind)
+	}
+	if a.DomainSize() != 2 {
+		t.Fatalf("domain size = %d, want 2", a.DomainSize())
+	}
+	if a.Values[0] != "false" || a.Values[1] != "true" {
+		t.Fatalf("values = %v", a.Values)
+	}
+}
+
+func TestCatAttrValueIndex(t *testing.T) {
+	a := CatAttr("color", "red", "green", "blue")
+	if got := a.ValueIndex("green"); got != 1 {
+		t.Errorf("ValueIndex(green) = %d, want 1", got)
+	}
+	if got := a.ValueIndex("purple"); got != -1 {
+		t.Errorf("ValueIndex(purple) = %d, want -1", got)
+	}
+}
+
+func TestNumAttrBuckets(t *testing.T) {
+	a := NumAttr("price", 0, 10000, 20000, 40000)
+	if a.DomainSize() != 3 {
+		t.Fatalf("domain size = %d, want 3", a.DomainSize())
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-1, -1}, {0, 0}, {9999.99, 0}, {10000, 1}, {20000, 2},
+		{39999, 2}, {40000, 2}, {40001, -1},
+	}
+	for _, c := range cases {
+		if got := a.BucketOf(c.x); got != c.want {
+			t.Errorf("BucketOf(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if a.Values[0] != "0-10000" {
+		t.Errorf("bucket label = %q, want 0-10000", a.Values[0])
+	}
+}
+
+func TestNewSchemaValid(t *testing.T) {
+	s, err := NewSchema("cars", BoolAttr("used"), CatAttr("color", "red", "blue"))
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if s.NumAttrs() != 2 {
+		t.Errorf("NumAttrs = %d, want 2", s.NumAttrs())
+	}
+	if s.AttrIndex("color") != 1 {
+		t.Errorf("AttrIndex(color) = %d, want 1", s.AttrIndex("color"))
+	}
+	if s.AttrIndex("absent") != -1 {
+		t.Errorf("AttrIndex(absent) = %d, want -1", s.AttrIndex("absent"))
+	}
+	if s.SpaceSize() != 4 {
+		t.Errorf("SpaceSize = %g, want 4", s.SpaceSize())
+	}
+}
+
+func TestSchemaValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attribute
+		want  string
+	}{
+		{"empty", nil, "no attributes"},
+		{"noname", []Attribute{{Kind: KindBool, Values: []string{"a", "b"}}}, "empty name"},
+		{"dupattr", []Attribute{BoolAttr("x"), BoolAttr("x")}, "duplicate attribute"},
+		{"smalldomain", []Attribute{CatAttr("x", "only")}, "domain size 1"},
+		{"dupvalue", []Attribute{CatAttr("x", "a", "a")}, "duplicate value"},
+		{"reserved", []Attribute{CatAttr("x=y", "a", "b")}, "reserved"},
+		{"bucketsonbool", []Attribute{{Name: "x", Kind: KindBool,
+			Values: []string{"a", "b"}, Buckets: []Bucket{{0, 1}, {1, 2}}}}, "has buckets"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewSchema("s", c.attrs...)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSchemaValidationBucketErrors(t *testing.T) {
+	bad := Attribute{Name: "p", Kind: KindNumeric,
+		Values:  []string{"a", "b"},
+		Buckets: []Bucket{{0, 10}, {20, 30}}}
+	if _, err := NewSchema("s", bad); err == nil || !strings.Contains(err.Error(), "not contiguous") {
+		t.Fatalf("want contiguity error, got %v", err)
+	}
+	empty := Attribute{Name: "p", Kind: KindNumeric,
+		Values:  []string{"a", "b"},
+		Buckets: []Bucket{{0, 10}, {10, 10}}}
+	if _, err := NewSchema("s", empty); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("want empty-bucket error, got %v", err)
+	}
+	misaligned := Attribute{Name: "p", Kind: KindNumeric,
+		Values:  []string{"a", "b", "c"},
+		Buckets: []Bucket{{0, 10}, {10, 20}}}
+	if _, err := NewSchema("s", misaligned); err == nil || !strings.Contains(err.Error(), "buckets for") {
+		t.Fatalf("want alignment error, got %v", err)
+	}
+}
+
+func TestSchemaCloneEqual(t *testing.T) {
+	s := MustSchema("cars",
+		BoolAttr("used"),
+		CatAttr("color", "red", "blue"),
+		NumAttr("price", 0, 10, 20))
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not Equal to original")
+	}
+	c.Attrs[1].Values[0] = "mauve"
+	if s.Attrs[1].Values[0] != "red" {
+		t.Fatal("clone shares value storage with original")
+	}
+	if s.Equal(c) {
+		t.Fatal("mutated clone still Equal")
+	}
+	if s.Equal(nil) {
+		t.Fatal("Equal(nil) = true")
+	}
+	d := s.Clone()
+	d.Name = "other"
+	if s.Equal(d) {
+		t.Fatal("Equal ignores name")
+	}
+	e := s.Clone()
+	e.Attrs[2].Buckets[0].Hi = 11
+	if s.Equal(e) {
+		t.Fatal("Equal ignores buckets")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindBool.String() != "bool" || KindCategorical.String() != "categorical" || KindNumeric.String() != "numeric" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Errorf("unknown kind rendered %q", Kind(9).String())
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	if got := (Bucket{0, 10000}).Label(); got != "0-10000" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := (Bucket{0.5, 1.5}).Label(); got != "0.5-1.5" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema did not panic on invalid schema")
+		}
+	}()
+	MustSchema("bad")
+}

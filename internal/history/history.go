@@ -1,0 +1,316 @@
+// Package history implements the query-history optimization HDSampler
+// adopts from "Leveraging count information in sampling hidden databases"
+// (ICDE 2009, reference [2] of the demo paper): a caching connector that
+// never pays for a query whose answer was already observed or can be
+// logically inferred from earlier answers.
+//
+// Inference rules, applied in order:
+//
+//  1. Exact repeat — the same canonical query was answered before.
+//  2. Valid ancestor — some ancestor query (a predicate subset) returned a
+//     complete (non-overflowing) answer; the current query's answer is that
+//     result filtered locally.
+//  3. Empty ancestor — some ancestor returned zero tuples; every
+//     specialization is empty.
+//  4. Sibling counts (only when counts are trusted/exact) — the count of
+//     q = parent ∧ (a=v) equals count(parent) minus the counts of the
+//     other values of a when all are known; when that pins the answer to
+//     empty, no query is needed. (A pinned positive count still needs a
+//     real query for its rows, so it is not fabricated.)
+//
+// Cached and inferred overflow answers carry no tuple rows (the top-k rows
+// of an overflowing query are never used by the samplers, and storing k
+// rows per overflow would dominate memory).
+package history
+
+import (
+	"context"
+	"sync"
+
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+)
+
+// Options tunes the cache.
+type Options struct {
+	// TrustCounts enables count-based inference (rule 4). Enable only when
+	// the interface reports exact counts; HDSampler's default against
+	// Google Base was to distrust its approximate estimates.
+	TrustCounts bool
+	// MaxEntries caps the number of cached queries; 0 means unlimited.
+	// When the cap is hit, a random ~10% of entries are evicted.
+	MaxEntries int
+	// MaxInferDepth bounds the predicate count up to which ancestor
+	// enumeration (2^depth subset lookups) is attempted. Defaults to 12.
+	MaxInferDepth int
+}
+
+// Stats reports the cache's effect.
+type Stats struct {
+	// Issued is the number of queries forwarded to the wrapped connector.
+	Issued int64
+	// ExactHits counts rule-1 answers, Inferred counts rules 2-4.
+	ExactHits int64
+	Inferred  int64
+}
+
+// Saved is the total number of interface queries avoided.
+func (s Stats) Saved() int64 { return s.ExactHits + s.Inferred }
+
+// Cache is a formclient.Conn decorator adding memoization and inference.
+type Cache struct {
+	inner formclient.Conn
+	opts  Options
+
+	mu      sync.Mutex
+	schema  *hiddendb.Schema
+	entries map[string]*entry
+	stats   Stats
+}
+
+// entry stores one observed or derived answer. Overflow entries keep no
+// tuples. count is the interface-reported count (CountAbsent if none).
+type entry struct {
+	overflow bool
+	count    int
+	tuples   []hiddendb.Tuple // nil for overflow entries
+}
+
+// New wraps inner with a history cache.
+func New(inner formclient.Conn, opts Options) *Cache {
+	if opts.MaxInferDepth <= 0 {
+		opts.MaxInferDepth = 12
+	}
+	return &Cache{inner: inner, opts: opts, entries: make(map[string]*entry)}
+}
+
+// Schema implements formclient.Conn.
+func (c *Cache) Schema(ctx context.Context) (*hiddendb.Schema, error) {
+	c.mu.Lock()
+	if c.schema != nil {
+		s := c.schema
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.mu.Unlock()
+	s, err := c.inner.Schema(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.schema = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Stats returns the inner connector's traffic statistics (so samplers keep
+// observing real query costs through the decorator).
+func (c *Cache) Stats() formclient.Stats { return c.inner.Stats() }
+
+// CacheStats returns hit/inference counters.
+func (c *Cache) CacheStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Execute implements formclient.Conn.
+func (c *Cache) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+	schema, err := c.Schema(ctx)
+	if err != nil {
+		return nil, err
+	}
+	key := q.Key()
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.ExactHits++
+		res := e.result()
+		c.mu.Unlock()
+		return res, nil
+	}
+	if res := c.infer(schema, q); res != nil {
+		c.stats.Inferred++
+		c.storeLocked(key, res, !res.Overflow)
+		out := res.Clone()
+		c.mu.Unlock()
+		return out, nil
+	}
+	c.mu.Unlock()
+
+	res, err := c.inner.Execute(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	// Fully-specified overflow answers keep their rows: they are the only
+	// window onto duplicate-heavy cells, and a row-less replay would make
+	// those rows unreachable on cache hits.
+	keepRows := !res.Overflow || q.Len() == schema.NumAttrs()
+	c.mu.Lock()
+	c.stats.Issued++
+	c.storeLocked(key, res, keepRows)
+	c.mu.Unlock()
+	return res, nil
+}
+
+// result materializes an entry as a fresh Result.
+func (e *entry) result() *hiddendb.Result {
+	res := &hiddendb.Result{Overflow: e.overflow, Count: e.count}
+	res.Tuples = make([]hiddendb.Tuple, len(e.tuples))
+	for i := range e.tuples {
+		res.Tuples[i] = e.tuples[i].Clone()
+	}
+	return res
+}
+
+// storeLocked records an answer; the caller holds c.mu. keepRows controls
+// whether the visible rows are retained (always for complete answers,
+// never for intermediate overflow pages, and for fully-specified overflow
+// pages whose duplicates have no other access path).
+func (c *Cache) storeLocked(key string, res *hiddendb.Result, keepRows bool) {
+	e := &entry{overflow: res.Overflow, count: res.Count}
+	if keepRows {
+		e.tuples = make([]hiddendb.Tuple, len(res.Tuples))
+		for i := range res.Tuples {
+			e.tuples[i] = res.Tuples[i].Clone()
+		}
+	}
+	if c.opts.MaxEntries > 0 && len(c.entries) >= c.opts.MaxEntries {
+		c.evictLocked()
+	}
+	c.entries[key] = e
+}
+
+// evictLocked drops ~10% of entries (at least one) in map order, which is
+// effectively random.
+func (c *Cache) evictLocked() {
+	drop := len(c.entries)/10 + 1
+	for k := range c.entries {
+		delete(c.entries, k)
+		drop--
+		if drop == 0 {
+			break
+		}
+	}
+}
+
+// infer attempts rules 2-4; the caller holds c.mu. Returns nil when the
+// answer cannot be derived.
+func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Result {
+	preds := q.Preds()
+	d := len(preds)
+	if d == 0 || d > c.opts.MaxInferDepth {
+		return nil
+	}
+	// Enumerate proper ancestors: all strict predicate subsets. Mask bit i
+	// keeps preds[i]. Iterate from largest subsets down so the tightest
+	// ancestor is found first (fewer tuples to filter).
+	nSub := 1 << d
+	masks := make([]int, 0, nSub-1)
+	for mask := 0; mask < nSub-1; mask++ {
+		masks = append(masks, mask)
+	}
+	// Order by descending popcount.
+	sortByPopcountDesc(masks)
+	for _, mask := range masks {
+		sub := hiddendb.EmptyQuery()
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) != 0 {
+				sub = sub.With(preds[i].Attr, preds[i].Value)
+			}
+		}
+		e, ok := c.entries[sub.Key()]
+		if !ok || e.overflow {
+			continue
+		}
+		// Rule 2/3: complete ancestor answer; filter locally.
+		res := &hiddendb.Result{Count: hiddendb.CountAbsent}
+		for i := range e.tuples {
+			if q.Matches(e.tuples[i].Vals) {
+				res.Tuples = append(res.Tuples, e.tuples[i].Clone())
+			}
+		}
+		if e.count != hiddendb.CountAbsent {
+			res.Count = len(res.Tuples)
+		}
+		return res
+	}
+	if c.opts.TrustCounts {
+		if res := c.inferFromSiblingCounts(schema, q, preds); res != nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// inferFromSiblingCounts applies rule 4: for some predicate (a=v) of q,
+// the parent (q without a) and every sibling value of a are cached with
+// exact counts, pinning count(q). Only empty (count 0) and overflow
+// (count > k, unknown rows) outcomes can be fabricated without rows; a
+// pinned small positive count still needs a real query for its tuples, so
+// we return nil then.
+func (c *Cache) inferFromSiblingCounts(schema *hiddendb.Schema, q hiddendb.Query, preds []hiddendb.Predicate) *hiddendb.Result {
+	for _, p := range preds {
+		parent := q.Without(p.Attr)
+		pe, ok := c.entries[parent.Key()]
+		if !ok || pe.count == hiddendb.CountAbsent {
+			continue
+		}
+		remaining := pe.count
+		complete := true
+		for v := 0; v < schema.DomainSize(p.Attr) && complete; v++ {
+			if v == p.Value {
+				continue
+			}
+			se, ok := c.entries[parent.With(p.Attr, v).Key()]
+			if !ok || se.count == hiddendb.CountAbsent {
+				complete = false
+				break
+			}
+			remaining -= se.count
+		}
+		if !complete {
+			continue
+		}
+		if remaining <= 0 {
+			return &hiddendb.Result{Count: 0}
+		}
+		// A pinned positive count only helps when it implies overflow;
+		// infer conservatively via the parent's own overflow threshold:
+		// we do not know k here, so only the empty case is safe.
+	}
+	return nil
+}
+
+// sortByPopcountDesc orders subset masks so larger subsets come first.
+func sortByPopcountDesc(masks []int) {
+	pc := func(x int) int {
+		n := 0
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+		return n
+	}
+	// Counting sort by popcount (masks are small).
+	buckets := make([][]int, 32)
+	for _, m := range masks {
+		p := pc(m)
+		buckets[p] = append(buckets[p], m)
+	}
+	i := 0
+	for p := len(buckets) - 1; p >= 0; p-- {
+		for _, m := range buckets[p] {
+			masks[i] = m
+			i++
+		}
+	}
+}
+
+var _ formclient.Conn = (*Cache)(nil)

@@ -1,0 +1,176 @@
+package htmlx
+
+import "strings"
+
+// Form is an extracted <form> element with the controls a conjunctive web
+// interface exposes: drop-down selects (one per searchable attribute) and
+// plain inputs.
+type Form struct {
+	// Action is the form's submission URL (may be relative) and Method the
+	// uppercase HTTP method, defaulting to GET as browsers do.
+	Action, Method, Name string
+	Selects              []Select
+	Inputs               []Input
+}
+
+// Select is a <select> control and its option domain.
+type Select struct {
+	Name     string
+	Multiple bool
+	Options  []Option
+}
+
+// Option is one <option>: the submitted value and the human label.
+type Option struct {
+	Value, Label string
+	Selected     bool
+}
+
+// Input is a non-select form control.
+type Input struct {
+	Name, Type, Value string
+}
+
+// ExtractForms returns every form in the tree with its controls, in
+// document order.
+func ExtractForms(root *Node) []Form {
+	var forms []Form
+	for _, f := range root.ByTag("form") {
+		form := Form{
+			Action: f.AttrOr("action", ""),
+			Method: strings.ToUpper(f.AttrOr("method", "GET")),
+			Name:   f.AttrOr("name", f.AttrOr("id", "")),
+		}
+		for _, sel := range f.ByTag("select") {
+			s := Select{Name: sel.AttrOr("name", "")}
+			_, s.Multiple = sel.Attr("multiple")
+			for _, opt := range sel.ByTag("option") {
+				label := opt.TextContent()
+				value := opt.AttrOr("value", label)
+				_, selected := opt.Attr("selected")
+				s.Options = append(s.Options, Option{Value: value, Label: label, Selected: selected})
+			}
+			form.Selects = append(form.Selects, s)
+		}
+		for _, in := range f.ByTag("input") {
+			form.Inputs = append(form.Inputs, Input{
+				Name:  in.AttrOr("name", ""),
+				Type:  strings.ToLower(in.AttrOr("type", "text")),
+				Value: in.AttrOr("value", ""),
+			})
+		}
+		forms = append(forms, form)
+	}
+	return forms
+}
+
+// FormByName returns the form whose name or action contains name, or the
+// first form when name is empty; nil when nothing matches.
+func FormByName(root *Node, name string) *Form {
+	forms := ExtractForms(root)
+	if len(forms) == 0 {
+		return nil
+	}
+	if name == "" {
+		return &forms[0]
+	}
+	for i := range forms {
+		if forms[i].Name == name || strings.Contains(forms[i].Action, name) {
+			return &forms[i]
+		}
+	}
+	return nil
+}
+
+// SelectByName returns the named select control, or nil.
+func (f *Form) SelectByName(name string) *Select {
+	for i := range f.Selects {
+		if f.Selects[i].Name == name {
+			return &f.Selects[i]
+		}
+	}
+	return nil
+}
+
+// Table is an extracted <table>: its id attribute, the header row (th
+// texts) and the body rows.
+type Table struct {
+	ID     string
+	Header []string
+	Rows   [][]Cell
+}
+
+// Cell is one td/th with its visible text and raw attributes (sites often
+// stash machine-readable values in data-* attributes).
+type Cell struct {
+	Text  string
+	Attrs []Attr
+}
+
+// Attr returns the named cell attribute and whether it exists.
+func (c *Cell) Attr(key string) (string, bool) {
+	for _, a := range c.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// ExtractTables returns every table in the tree. A row consisting solely of
+// <th> cells is treated as the header; all other rows land in Rows.
+func ExtractTables(root *Node) []Table {
+	var tables []Table
+	for _, tn := range root.ByTag("table") {
+		t := Table{ID: tn.AttrOr("id", "")}
+		for _, tr := range tn.ByTag("tr") {
+			if nearestTable(tr) != tn {
+				continue // row belongs to a nested table
+			}
+			var cells []Cell
+			allHeader := true
+			for _, c := range tr.Children {
+				if c.Tag != "td" && c.Tag != "th" {
+					continue
+				}
+				if c.Tag != "th" {
+					allHeader = false
+				}
+				cells = append(cells, Cell{Text: c.TextContent(), Attrs: c.Attrs})
+			}
+			if len(cells) == 0 {
+				continue
+			}
+			if allHeader && t.Header == nil && len(t.Rows) == 0 {
+				for _, c := range cells {
+					t.Header = append(t.Header, c.Text)
+				}
+				continue
+			}
+			t.Rows = append(t.Rows, cells)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// nearestTable walks up to the closest enclosing table element.
+func nearestTable(n *Node) *Node {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p.Tag == "table" {
+			return p
+		}
+	}
+	return nil
+}
+
+// TableByID returns the table with the given id, or nil.
+func TableByID(root *Node, id string) *Table {
+	tables := ExtractTables(root)
+	for i := range tables {
+		if tables[i].ID == id {
+			return &tables[i]
+		}
+	}
+	return nil
+}

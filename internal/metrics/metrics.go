@@ -1,0 +1,185 @@
+// Package metrics provides the statistical measures the experiments report:
+// distribution distances (total variation, L2), skew (coefficient of
+// variation of selection probabilities), and a chi-square goodness-of-fit
+// test with a stdlib-only p-value via the regularized incomplete gamma
+// function.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalize converts counts to a probability vector. An all-zero vector
+// normalizes to all zeros.
+func Normalize(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// TV returns the total variation distance ½·Σ|p−q| between two
+// distributions of equal length; it panics on length mismatch (caller bug).
+func TV(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("metrics: TV over mismatched lengths %d, %d", len(p), len(q)))
+	}
+	sum := 0.0
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2
+}
+
+// TVFromCounts normalizes observed counts and compares them to a target
+// distribution.
+func TVFromCounts(counts []int, want []float64) float64 {
+	return TV(Normalize(counts), want)
+}
+
+// L2 returns the Euclidean distance between two equal-length vectors.
+func L2(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("metrics: L2 over mismatched lengths %d, %d", len(p), len(q)))
+	}
+	sum := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// CV returns the coefficient of variation (stddev/mean) — the skew measure
+// used for sample selection probabilities: 0 means perfectly uniform.
+// Returns 0 when the mean is 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// ChiSquareStat returns Σ (obs−exp)²/exp over cells with positive expected
+// count; cells with exp <= 0 are skipped.
+func ChiSquareStat(obs []int, expected []float64) float64 {
+	if len(obs) != len(expected) {
+		panic(fmt.Sprintf("metrics: chi-square over mismatched lengths %d, %d", len(obs), len(expected)))
+	}
+	stat := 0.0
+	for i := range obs {
+		if expected[i] <= 0 {
+			continue
+		}
+		d := float64(obs[i]) - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat
+}
+
+// ChiSquarePValue returns the upper-tail probability P(X² >= stat) for df
+// degrees of freedom: the regularized upper incomplete gamma Q(df/2,
+// stat/2).
+func ChiSquarePValue(stat float64, df int) float64 {
+	if stat <= 0 || df <= 0 {
+		return 1
+	}
+	return gammaQ(float64(df)/2, stat/2)
+}
+
+// gammaQ computes the regularized upper incomplete gamma function Q(a, x)
+// via the series (x < a+1) or continued fraction (otherwise) expansions.
+func gammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaPSeries(a, x)
+	default:
+		return gammaQContinued(a, x)
+	}
+}
+
+// gammaPSeries evaluates P(a,x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinued evaluates Q(a,x) by the Lentz continued fraction.
+func gammaQContinued(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

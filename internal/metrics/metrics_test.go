@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]int{1, 3})
+	if got[0] != 0.25 || got[1] != 0.75 {
+		t.Fatalf("Normalize = %v", got)
+	}
+	zero := Normalize([]int{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatalf("Normalize zeros = %v", zero)
+	}
+}
+
+func TestTV(t *testing.T) {
+	if got := TV([]float64{1, 0}, []float64{0, 1}); got != 1 {
+		t.Errorf("TV disjoint = %g, want 1", got)
+	}
+	if got := TV([]float64{0.5, 0.5}, []float64{0.5, 0.5}); got != 0 {
+		t.Errorf("TV identical = %g, want 0", got)
+	}
+	if got := TV([]float64{0.7, 0.3}, []float64{0.5, 0.5}); !almost(got, 0.2, 1e-12) {
+		t.Errorf("TV = %g, want 0.2", got)
+	}
+	if got := TVFromCounts([]int{7, 3}, []float64{0.5, 0.5}); !almost(got, 0.2, 1e-12) {
+		t.Errorf("TVFromCounts = %g, want 0.2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	TV([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestL2(t *testing.T) {
+	if got := L2([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("L2 = %g, want 5", got)
+	}
+}
+
+func TestMeanStdDevCV(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %g", got)
+	}
+	if got := CV(xs); got != 0.4 {
+		t.Errorf("CV = %g", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || CV(nil) != 0 {
+		t.Error("empty input should yield zeros")
+	}
+	if CV([]float64{0, 0}) != 0 {
+		t.Error("zero-mean CV should be 0")
+	}
+	if CV([]float64{3, 3, 3}) != 0 {
+		t.Error("uniform CV should be 0")
+	}
+}
+
+func TestChiSquareStat(t *testing.T) {
+	// Textbook: obs (8,12), exp (10,10) -> 0.4+0.4 = 0.8.
+	if got := ChiSquareStat([]int{8, 12}, []float64{10, 10}); !almost(got, 0.8, 1e-12) {
+		t.Errorf("stat = %g, want 0.8", got)
+	}
+	// Zero-expected cells are skipped rather than dividing by zero.
+	if got := ChiSquareStat([]int{5, 5}, []float64{10, 0}); !almost(got, 2.5, 1e-12) {
+		t.Errorf("stat with zero cell = %g, want 2.5", got)
+	}
+}
+
+func TestChiSquarePValueKnownValues(t *testing.T) {
+	// Critical values: P(X²_1 >= 3.841) = 0.05, P(X²_5 >= 11.07) = 0.05,
+	// P(X²_10 >= 18.31) = 0.05 (standard tables).
+	cases := []struct {
+		stat float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{11.07, 5, 0.05},
+		{18.31, 10, 0.05},
+		{6.635, 1, 0.01},
+		{2.706, 1, 0.10},
+		{4.605, 2, 0.10},
+	}
+	for _, c := range cases {
+		got := ChiSquarePValue(c.stat, c.df)
+		if !almost(got, c.want, 0.001) {
+			t.Errorf("p(stat=%g, df=%d) = %g, want %g", c.stat, c.df, got, c.want)
+		}
+	}
+	if got := ChiSquarePValue(0, 3); got != 1 {
+		t.Errorf("p(0) = %g, want 1", got)
+	}
+	if got := ChiSquarePValue(1000, 3); got > 1e-9 {
+		t.Errorf("p(huge) = %g, want ~0", got)
+	}
+}
+
+func TestChiSquarePValueMedian(t *testing.T) {
+	// The chi-square median is roughly df·(1-2/(9df))³; p at the median
+	// should be near 0.5.
+	for _, df := range []int{2, 5, 20, 100} {
+		median := float64(df) * math.Pow(1-2.0/(9*float64(df)), 3)
+		p := ChiSquarePValue(median, df)
+		if !almost(p, 0.5, 0.02) {
+			t.Errorf("p at median (df=%d) = %g, want ~0.5", df, p)
+		}
+	}
+}
+
+// Property: the p-value is monotonically decreasing in the statistic and
+// always within [0,1].
+func TestChiSquarePValueMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		df := 1 + rng.Intn(50)
+		prev := 1.0
+		for stat := 0.5; stat < 100; stat += 2.5 {
+			p := ChiSquarePValue(stat, df)
+			if p < 0 || p > 1 || p > prev+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TV is a metric bounded by 1 on probability vectors and
+// symmetric.
+func TestTVPropertiesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		randDist := func() []float64 {
+			xs := make([]float64, n)
+			sum := 0.0
+			for i := range xs {
+				xs[i] = rng.Float64()
+				sum += xs[i]
+			}
+			for i := range xs {
+				xs[i] /= sum
+			}
+			return xs
+		}
+		p, q := randDist(), randDist()
+		tv := TV(p, q)
+		if tv < 0 || tv > 1+1e-12 {
+			return false
+		}
+		if math.Abs(TV(p, q)-TV(q, p)) > 1e-12 {
+			return false
+		}
+		return TV(p, p) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChiSquareUniformSamplesPass(t *testing.T) {
+	// Sanity: chi-square on genuinely uniform draws has a non-tiny p-value.
+	rng := rand.New(rand.NewSource(7))
+	const cells, draws = 20, 10000
+	obs := make([]int, cells)
+	for i := 0; i < draws; i++ {
+		obs[rng.Intn(cells)]++
+	}
+	exp := make([]float64, cells)
+	for i := range exp {
+		exp[i] = draws / float64(cells)
+	}
+	p := ChiSquarePValue(ChiSquareStat(obs, exp), cells-1)
+	if p < 0.001 {
+		t.Errorf("uniform draws rejected: p = %g", p)
+	}
+}

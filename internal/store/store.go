@@ -1,0 +1,236 @@
+// Package store persists sample sets to disk as JSON so analysis can
+// continue across sessions — the durable version of the demo's Sample
+// Processor, which "stores the final set of samples". A stored set carries
+// the discovered schema and per-sample provenance (ID, reach), so loaded
+// samples feed the estimators and the Horvitz–Thompson machinery directly.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// SampleSet is one persisted sampling run (or the merge of several).
+type SampleSet struct {
+	// Source describes where the samples came from (URL or dataset name);
+	// Method the sampling algorithm; C the rejection target used.
+	Source string  `json:"source"`
+	Method string  `json:"method"`
+	C      float64 `json:"c"`
+	// DrawnAt is the completion time of the (latest merged) run.
+	DrawnAt time.Time `json:"drawn_at"`
+	// Queries is the cumulative interface query bill.
+	Queries int64 `json:"queries"`
+
+	Schema  wireSchema   `json:"schema"`
+	Samples []wireSample `json:"samples"`
+}
+
+// wireSchema is the JSON form of a schema.
+type wireSchema struct {
+	Name  string     `json:"name"`
+	Attrs []wireAttr `json:"attrs"`
+}
+
+type wireAttr struct {
+	Name    string       `json:"name"`
+	Kind    string       `json:"kind"`
+	Values  []string     `json:"values"`
+	Buckets [][2]float64 `json:"buckets,omitempty"`
+}
+
+// wireSample is the JSON form of one sample.
+type wireSample struct {
+	ID    int                `json:"id"`
+	Vals  []int              `json:"vals"`
+	Nums  map[string]float64 `json:"nums,omitempty"`
+	Reach float64            `json:"reach,omitempty"`
+}
+
+// New builds a SampleSet from a schema and samples with optional reach
+// values (nil reaches stores plain samples).
+func New(source, method string, c float64, schema *hiddendb.Schema, samples []hiddendb.Tuple, reaches []float64, queries int64) (*SampleSet, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("store: nil schema")
+	}
+	if reaches != nil && len(reaches) != len(samples) {
+		return nil, fmt.Errorf("store: %d reaches for %d samples", len(reaches), len(samples))
+	}
+	set := &SampleSet{
+		Source: source, Method: method, C: c,
+		DrawnAt: time.Now().UTC(), Queries: queries,
+		Schema: encodeSchema(schema),
+	}
+	for i := range samples {
+		ws, err := encodeSample(schema, &samples[i])
+		if err != nil {
+			return nil, err
+		}
+		if reaches != nil {
+			ws.Reach = reaches[i]
+		}
+		set.Samples = append(set.Samples, ws)
+	}
+	return set, nil
+}
+
+func encodeSchema(s *hiddendb.Schema) wireSchema {
+	out := wireSchema{Name: s.Name}
+	for _, a := range s.Attrs {
+		wa := wireAttr{Name: a.Name, Kind: a.Kind.String(), Values: a.Values}
+		for _, b := range a.Buckets {
+			wa.Buckets = append(wa.Buckets, [2]float64{b.Lo, b.Hi})
+		}
+		out.Attrs = append(out.Attrs, wa)
+	}
+	return out
+}
+
+func encodeSample(s *hiddendb.Schema, t *hiddendb.Tuple) (wireSample, error) {
+	if len(t.Vals) != s.NumAttrs() {
+		return wireSample{}, fmt.Errorf("store: sample arity %d, schema has %d", len(t.Vals), s.NumAttrs())
+	}
+	ws := wireSample{ID: t.ID, Vals: t.Vals}
+	for a := range s.Attrs {
+		if v, ok := t.Num(a); ok {
+			if ws.Nums == nil {
+				ws.Nums = make(map[string]float64)
+			}
+			ws.Nums[s.Attrs[a].Name] = v
+		}
+	}
+	return ws, nil
+}
+
+// DecodeSchema reconstructs the hiddendb.Schema.
+func (set *SampleSet) DecodeSchema() (*hiddendb.Schema, error) {
+	attrs := make([]hiddendb.Attribute, 0, len(set.Schema.Attrs))
+	for _, wa := range set.Schema.Attrs {
+		a := hiddendb.Attribute{Name: wa.Name, Values: wa.Values}
+		switch wa.Kind {
+		case "bool":
+			a.Kind = hiddendb.KindBool
+		case "numeric":
+			a.Kind = hiddendb.KindNumeric
+			for _, b := range wa.Buckets {
+				a.Buckets = append(a.Buckets, hiddendb.Bucket{Lo: b[0], Hi: b[1]})
+			}
+		case "categorical":
+			a.Kind = hiddendb.KindCategorical
+		default:
+			return nil, fmt.Errorf("store: unknown attribute kind %q", wa.Kind)
+		}
+		attrs = append(attrs, a)
+	}
+	return hiddendb.NewSchema(set.Schema.Name, attrs...)
+}
+
+// DecodeSamples reconstructs the tuples (and reaches, aligned; reach 0
+// when the set stored none).
+func (set *SampleSet) DecodeSamples() ([]hiddendb.Tuple, []float64, error) {
+	schema, err := set.DecodeSchema()
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples := make([]hiddendb.Tuple, 0, len(set.Samples))
+	reaches := make([]float64, 0, len(set.Samples))
+	for i, ws := range set.Samples {
+		if len(ws.Vals) != schema.NumAttrs() {
+			return nil, nil, fmt.Errorf("store: sample %d arity %d, schema has %d", i, len(ws.Vals), schema.NumAttrs())
+		}
+		t := hiddendb.Tuple{ID: ws.ID, Vals: ws.Vals, Nums: make([]float64, schema.NumAttrs())}
+		for a := range t.Nums {
+			t.Nums[a] = math.NaN()
+		}
+		for name, v := range ws.Nums {
+			if idx := schema.AttrIndex(name); idx >= 0 {
+				t.Nums[idx] = v
+			}
+		}
+		if err := validVals(schema, t.Vals); err != nil {
+			return nil, nil, fmt.Errorf("store: sample %d: %w", i, err)
+		}
+		tuples = append(tuples, t)
+		reaches = append(reaches, ws.Reach)
+	}
+	return tuples, reaches, nil
+}
+
+func validVals(s *hiddendb.Schema, vals []int) error {
+	for a, v := range vals {
+		if v < 0 || v >= s.DomainSize(a) {
+			return fmt.Errorf("value %d out of domain for %q", v, s.Attrs[a].Name)
+		}
+	}
+	return nil
+}
+
+// Merge appends another set's samples; the schemas must be structurally
+// identical. Queries accumulate; the later DrawnAt wins.
+func (set *SampleSet) Merge(other *SampleSet) error {
+	a, err := set.DecodeSchema()
+	if err != nil {
+		return err
+	}
+	b, err := other.DecodeSchema()
+	if err != nil {
+		return err
+	}
+	if !a.Equal(b) {
+		return fmt.Errorf("store: cannot merge sample sets with different schemas (%q vs %q)", a.Name, b.Name)
+	}
+	set.Samples = append(set.Samples, other.Samples...)
+	set.Queries += other.Queries
+	if other.DrawnAt.After(set.DrawnAt) {
+		set.DrawnAt = other.DrawnAt
+	}
+	return nil
+}
+
+// Write serializes the set as indented JSON.
+func (set *SampleSet) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(set)
+}
+
+// Read deserializes a set.
+func Read(r io.Reader) (*SampleSet, error) {
+	var set SampleSet
+	if err := json.NewDecoder(r).Decode(&set); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	if _, err := set.DecodeSchema(); err != nil {
+		return nil, err
+	}
+	return &set, nil
+}
+
+// SaveFile writes the set to path (0644), creating or truncating it.
+func SaveFile(path string, set *SampleSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := set.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a set from path.
+func LoadFile(path string) (*SampleSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+)
+
+func vehicleSet(t *testing.T, n int, withReach bool) (*SampleSet, *hiddendb.Schema, []hiddendb.Tuple) {
+	t.Helper()
+	ds := datagen.Vehicles(n, 3)
+	var reaches []float64
+	if withReach {
+		reaches = make([]float64, n)
+		for i := range reaches {
+			reaches[i] = 1 / float64(n+i)
+		}
+	}
+	set, err := New("unit-test", "random-walk", 0.5, ds.Schema, ds.Tuples, reaches, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, ds.Schema, ds.Tuples
+}
+
+func TestRoundTripThroughWriter(t *testing.T) {
+	set, schema, tuples := vehicleSet(t, 25, true)
+	var buf bytes.Buffer
+	if err := set.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Source != "unit-test" || back.Method != "random-walk" || back.C != 0.5 || back.Queries != 123 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	gotSchema, err := back.DecodeSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotSchema.Equal(schema) {
+		t.Fatal("schema round trip failed")
+	}
+	gotTuples, gotReaches, err := back.DecodeSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotTuples) != len(tuples) {
+		t.Fatalf("samples = %d, want %d", len(gotTuples), len(tuples))
+	}
+	for i := range tuples {
+		if gotTuples[i].ID != tuples[i].ID {
+			t.Fatal("ID lost")
+		}
+		for a := range tuples[i].Vals {
+			if gotTuples[i].Vals[a] != tuples[i].Vals[a] {
+				t.Fatal("vals lost")
+			}
+		}
+		wp, wok := tuples[i].Num(datagen.VehAttrPrice)
+		gp, gok := gotTuples[i].Num(datagen.VehAttrPrice)
+		if wok != gok || wp != gp {
+			t.Fatal("numeric payload lost")
+		}
+		if _, ok := gotTuples[i].Num(datagen.VehAttrMake); ok {
+			t.Fatal("categorical attr gained payload")
+		}
+		if math.Abs(gotReaches[i]-1/float64(25+i)) > 1e-15 {
+			t.Fatal("reach lost")
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	set, _, _ := vehicleSet(t, 10, false)
+	path := filepath.Join(t.TempDir(), "samples.json")
+	if err := SaveFile(path, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, reaches, err := back.DecodeSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 10 {
+		t.Fatalf("samples = %d", len(tuples))
+	}
+	for _, r := range reaches {
+		if r != 0 {
+			t.Fatal("reach should be zero when none was stored")
+		}
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _, _ := vehicleSet(t, 10, false)
+	b, _, _ := vehicleSet(t, 15, false)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != 25 {
+		t.Fatalf("merged samples = %d", len(a.Samples))
+	}
+	if a.Queries != 246 {
+		t.Fatalf("merged queries = %d", a.Queries)
+	}
+	// Schema mismatch is rejected.
+	ds := datagen.IIDBoolean(3, 5, 0.5, 1)
+	other, err := New("x", "y", 1, ds.Schema, ds.Tuples, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(other); err == nil || !strings.Contains(err.Error(), "different schemas") {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := datagen.Vehicles(5, 1)
+	if _, err := New("s", "m", 1, nil, ds.Tuples, nil, 0); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := New("s", "m", 1, ds.Schema, ds.Tuples, []float64{1}, 0); err == nil {
+		t.Error("misaligned reaches accepted")
+	}
+	bad := []hiddendb.Tuple{{Vals: []int{1}}}
+	if _, err := New("s", "m", 1, ds.Schema, bad, nil, 0); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"schema":{"name":"x","attrs":[{"name":"a","kind":"weird","values":["1","2"]}]}}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestDecodeRejectsOutOfDomain(t *testing.T) {
+	set, _, _ := vehicleSet(t, 3, false)
+	set.Samples[0].Vals[0] = 99
+	if _, _, err := set.DecodeSamples(); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+}

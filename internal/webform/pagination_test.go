@@ -1,0 +1,125 @@
+package webform
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/htmlx"
+)
+
+func paginatedServer(t *testing.T, n, k, pageSize int) (*hiddendb.DB, *httptest.Server) {
+	t.Helper()
+	ds := datagen.Vehicles(n, 17)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil,
+		hiddendb.Config{K: k, CountMode: hiddendb.CountExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(db, Options{PageSize: pageSize}))
+	t.Cleanup(srv.Close)
+	return db, srv
+}
+
+func TestPaginationSplitsRows(t *testing.T) {
+	db, srv := paginatedServer(t, 500, 100, 30)
+	// Broad query: overflow, 100 visible rows over 4 pages of 30/30/30/10.
+	want, err := db.Execute(hiddendb.EmptyQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Overflow || len(want.Tuples) != 100 {
+		t.Fatalf("setup: %d rows, overflow=%v", len(want.Tuples), want.Overflow)
+	}
+	var gotIDs []int
+	path := "/search"
+	pages := 0
+	for path != "" {
+		code, body := get(t, srv, path)
+		if code != http.StatusOK {
+			t.Fatalf("page %d status = %d", pages, code)
+		}
+		root := htmlx.Parse(body)
+		if ov, _ := root.ByID("status").Attr("data-overflow"); ov != "true" {
+			t.Fatalf("page %d lost overflow flag", pages)
+		}
+		tbl := htmlx.TableByID(root, "results")
+		for _, row := range tbl.Rows {
+			id, err := strconv.Atoi(row[0].Text[1:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIDs = append(gotIDs, id)
+		}
+		info := root.ByID("pageinfo")
+		if info == nil {
+			t.Fatalf("page %d missing pageinfo", pages)
+		}
+		if p, _ := info.Attr("data-pages"); p != "4" {
+			t.Fatalf("data-pages = %q, want 4", p)
+		}
+		path = ""
+		if next := root.ByID("next"); next != nil {
+			path = next.AttrOr("href", "")
+		}
+		pages++
+	}
+	if pages != 4 {
+		t.Fatalf("walked %d pages, want 4", pages)
+	}
+	if len(gotIDs) != len(want.Tuples) {
+		t.Fatalf("assembled %d rows, want %d", len(gotIDs), len(want.Tuples))
+	}
+	for i := range gotIDs {
+		if gotIDs[i] != want.Tuples[i].ID {
+			t.Fatalf("row %d: id %d, want %d (rank order broken)", i, gotIDs[i], want.Tuples[i].ID)
+		}
+	}
+}
+
+func TestPaginationSinglePageOmitsNav(t *testing.T) {
+	_, srv := paginatedServer(t, 500, 100, 30)
+	// Narrow query returning fewer rows than a page.
+	_, body := get(t, srv, "/search?make=0&condition=0&color=5")
+	root := htmlx.Parse(body)
+	if root.ByID("next") != nil {
+		t.Error("single-page result has a next link")
+	}
+}
+
+func TestPaginationBadPage(t *testing.T) {
+	_, srv := paginatedServer(t, 500, 100, 30)
+	for _, path := range []string{"/search?page=-1", "/search?page=x", "/search?page=99"} {
+		if code, _ := get(t, srv, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, code)
+		}
+	}
+}
+
+func TestPaginationEachPageCostsAQuery(t *testing.T) {
+	db, srv := paginatedServer(t, 500, 100, 30)
+	before := db.QueriesServed()
+	for p := 0; p < 4; p++ {
+		get(t, srv, fmt.Sprintf("/search?page=%d", p))
+	}
+	if got := db.QueriesServed() - before; got != 4 {
+		t.Fatalf("4 page fetches cost %d backend queries, want 4", got)
+	}
+}
+
+func TestNoPaginationByDefault(t *testing.T) {
+	_, srv := paginatedServer(t, 500, 100, 0)
+	_, body := get(t, srv, "/search")
+	root := htmlx.Parse(body)
+	if root.ByID("pageinfo") != nil || root.ByID("next") != nil {
+		t.Error("unpaginated server rendered pagination markers")
+	}
+	tbl := htmlx.TableByID(root, "results")
+	if len(tbl.Rows) != 100 {
+		t.Fatalf("rows = %d, want all 100", len(tbl.Rows))
+	}
+}

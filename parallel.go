@@ -1,0 +1,119 @@
+package hdsampler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hdsampler/internal/core"
+	"hdsampler/internal/estimate"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/history"
+)
+
+// DrawParallel collects n accepted samples using `workers` independent
+// sampler replicas over the same connector (each with a derived seed), the
+// natural way to exploit a site that tolerates concurrent clients. When
+// cfg.UseHistory is set the replicas share one history cache, so any
+// worker's answers save every other worker's queries.
+//
+// The combined sample is a fair mixture of independent samplers and keeps
+// the per-replica statistical guarantees.
+func DrawParallel(ctx context.Context, conn Conn, cfg Config, n, workers int) ([]Tuple, Stats, error) {
+	if workers < 1 {
+		return nil, Stats{}, fmt.Errorf("hdsampler: workers = %d, need >= 1", workers)
+	}
+	if workers == 1 || n < workers {
+		s, err := New(ctx, conn, cfg)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return s.Draw(ctx, n)
+	}
+
+	// When history is enabled the replicas share a single cache (it is
+	// safe for concurrent use), so any worker's answers save every other
+	// worker's queries.
+	effective := conn
+	var shared *history.Cache
+	if cfg.UseHistory {
+		shared = history.New(conn, history.Options{TrustCounts: cfg.TrustCounts})
+		effective = shared
+	}
+	samplers := make([]*Sampler, workers)
+	for i := range samplers {
+		wcfg := cfg
+		wcfg.Seed = cfg.Seed + int64(i)*7919 // distinct streams per worker
+		wcfg.UseHistory = false              // the shared cache sits below
+		s, err := New(ctx, effective, wcfg)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		samplers[i] = s
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := time.Now()
+
+	var mu sync.Mutex
+	var out []Tuple
+	var agg Stats
+	var firstErr error
+	quota := make([]int, workers)
+	for i := 0; i < n; i++ {
+		quota[i%workers]++
+	}
+
+	var wg sync.WaitGroup
+	for i, s := range samplers {
+		wg.Add(1)
+		go func(i int, s *Sampler) {
+			defer wg.Done()
+			tuples, st, err := s.Draw(ctx, quota[i])
+			mu.Lock()
+			defer mu.Unlock()
+			out = append(out, tuples...)
+			agg.Candidates += st.Candidates
+			agg.Accepted += st.Accepted
+			agg.Rejected += st.Rejected
+			agg.Queries += st.Queries
+			if err != nil && firstErr == nil {
+				firstErr = err
+				cancel()
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	agg.Elapsed = time.Since(start)
+	if shared != nil {
+		agg.QueriesSaved = shared.CacheStats().Saved()
+	}
+	return out, agg, firstErr
+}
+
+// Crawl exhaustively extracts every reachable tuple through the interface —
+// the expensive alternative the paper's introduction argues against; use
+// it to price a full crawl against a sample. maxQueries of 0 means
+// unlimited.
+func Crawl(ctx context.Context, conn Conn, maxQueries int64) ([]Tuple, int64, error) {
+	c, err := core.NewCrawler(ctx, conn, core.CrawlerConfig{MaxQueries: maxQueries})
+	if err != nil {
+		return nil, 0, err
+	}
+	tuples, err := c.Run(ctx)
+	return tuples, c.Queries(), err
+}
+
+// PopulationEstimate estimates the hidden database's size. It prefers the
+// interface's root count (one query) and otherwise falls back to the
+// birthday/collision estimator over the provided samples; ok is false when
+// neither source can produce an estimate yet.
+func PopulationEstimate(ctx context.Context, conn Conn, samples []Tuple) (Estimate, bool) {
+	if res, err := conn.Execute(ctx, hiddendb.EmptyQuery()); err == nil && res.Count != hiddendb.CountAbsent {
+		return Estimate{Value: float64(res.Count), N: len(samples)}, true
+	}
+	est, ok := estimate.PopulationBirthday(samples)
+	return est, ok
+}

@@ -1,0 +1,117 @@
+package hdsampler
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+)
+
+func TestDrawParallel(t *testing.T) {
+	db, conn := localVehicles(t, 5000, 500, hiddendb.CountNone)
+	ctx := context.Background()
+	cfg := Config{Seed: 1, Slider: 1, ShuffleOrder: true, UseHistory: true, K: db.K()}
+	tuples, stats, err := DrawParallel(ctx, conn, cfg, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 200 {
+		t.Fatalf("drew %d, want 200", len(tuples))
+	}
+	if stats.Accepted != 200 || stats.Queries == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.QueriesSaved == 0 {
+		t.Error("shared history cache saved nothing across workers")
+	}
+	// Sample quality: make marginal tracks truth loosely.
+	truth := db.TrueMarginal(datagen.VehAttrMake)
+	counts := make([]int, len(truth))
+	for _, tu := range tuples {
+		counts[tu.Vals[datagen.VehAttrMake]]++
+	}
+	for v := range truth {
+		want := float64(truth[v]) / float64(db.Size())
+		got := float64(counts[v]) / float64(len(tuples))
+		if math.Abs(got-want) > 0.12 {
+			t.Errorf("make[%d] = %g, truth %g", v, got, want)
+		}
+	}
+}
+
+func TestDrawParallelDegenerateCases(t *testing.T) {
+	_, conn := localVehicles(t, 500, 100, hiddendb.CountNone)
+	ctx := context.Background()
+	cfg := Config{Seed: 2, Slider: 1}
+	if _, _, err := DrawParallel(ctx, conn, cfg, 10, 0); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	// workers > n falls back to sequential.
+	tuples, _, err := DrawParallel(ctx, conn, cfg, 3, 8)
+	if err != nil || len(tuples) != 3 {
+		t.Fatalf("fallback draw: %d %v", len(tuples), err)
+	}
+}
+
+func TestDrawParallelPropagatesError(t *testing.T) {
+	// Count-weighted sampling against an interface without counts fails
+	// in every worker; the error must surface.
+	_, conn := localVehicles(t, 500, 100, hiddendb.CountNone)
+	ctx := context.Background()
+	cfg := Config{Seed: 3, Method: MethodCountWeighted}
+	if _, _, err := DrawParallel(ctx, conn, cfg, 40, 4); err == nil {
+		t.Fatal("expected error from count sampler without counts")
+	}
+}
+
+func TestCrawlFacade(t *testing.T) {
+	ds := datagen.IIDBoolean(8, 100, 0.5, 4)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tuples, queries, err := Crawl(ctx, LocalConn(db), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != db.Size() {
+		t.Fatalf("crawled %d of %d", len(tuples), db.Size())
+	}
+	if queries == 0 {
+		t.Fatal("no queries counted")
+	}
+	// Budgeted crawl fails fast.
+	if _, _, err := Crawl(ctx, LocalConn(db), 5); err == nil {
+		t.Fatal("budget 5 should abort the crawl")
+	}
+}
+
+func TestPopulationEstimate(t *testing.T) {
+	ctx := context.Background()
+	// With exact counts: one root query answers it.
+	db, conn := localVehicles(t, 3000, 100, hiddendb.CountExact)
+	est, ok := PopulationEstimate(ctx, conn, nil)
+	if !ok || est.Value != float64(db.Size()) {
+		t.Fatalf("estimate = %+v ok=%v, want exact %d", est, ok, db.Size())
+	}
+	// Without counts: fall back to sample collisions.
+	dbNone, connNone := localVehicles(t, 300, 100, hiddendb.CountNone)
+	s, err := New(ctx, connNone, Config{Seed: 5, Slider: 1, ShuffleOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _, err := s.Draw(ctx, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, ok = PopulationEstimate(ctx, connNone, samples)
+	if !ok {
+		t.Skip("no collisions with this seed; estimator undefined")
+	}
+	if est.Value < float64(dbNone.Size())/10 || est.Value > float64(dbNone.Size())*10 {
+		t.Errorf("population estimate %g wildly off truth %d", est.Value, dbNone.Size())
+	}
+}

@@ -1,0 +1,61 @@
+package hdsampler
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+)
+
+func TestDrawWeighted(t *testing.T) {
+	db, conn := localVehicles(t, 8000, 1000, hiddendb.CountNone)
+	ctx := context.Background()
+	s, err := New(ctx, conn, Config{Seed: 11, ShuffleOrder: true, UseHistory: true, K: db.K()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, stats, err := s.DrawWeighted(ctx, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.Samples) != 800 || ws.Walks < 800 {
+		t.Fatalf("set = %d samples over %d walks", len(ws.Samples), ws.Walks)
+	}
+	if stats.Queries == 0 {
+		t.Fatal("no queries counted")
+	}
+
+	// HT population estimate tracks the true size without any counts.
+	pop := ws.Population()
+	if math.Abs(pop.Value-float64(db.Size()))/float64(db.Size()) > 0.25 {
+		t.Errorf("HT population %g vs truth %d", pop.Value, db.Size())
+	}
+
+	// HT COUNT for a predicate tracks truth.
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: datagen.VehAttrCondition, Value: 1})
+	trueCount, _, _ := db.TrueAggregate(pred, -1)
+	est := ws.Count(pred)
+	if math.Abs(est.Value-float64(trueCount))/float64(trueCount) > 0.25 {
+		t.Errorf("HT count %g vs truth %d", est.Value, trueCount)
+	}
+	// And the 3-sigma CI covers it (seeded, deterministic).
+	lo, hi := est.CI(3)
+	if float64(trueCount) < lo || float64(trueCount) > hi {
+		t.Errorf("CI [%g,%g] misses truth %d", lo, hi, trueCount)
+	}
+}
+
+func TestDrawWeightedContextCancel(t *testing.T) {
+	_, conn := localVehicles(t, 500, 100, hiddendb.CountNone)
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := New(ctx, conn, Config{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, _, err := s.DrawWeighted(ctx, 10); err == nil {
+		t.Fatal("cancelled DrawWeighted should fail")
+	}
+}

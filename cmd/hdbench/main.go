@@ -7,10 +7,12 @@
 //	hdbench                      # run everything at full scale
 //	hdbench -scale small         # quick pass
 //	hdbench -run figure4,tradeoff
+//	hdbench -json BENCH_PR1.json # also record results as JSON
 //	hdbench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +22,28 @@ import (
 	"hdsampler/internal/experiments"
 )
 
+// benchReport is the machine-readable run record -json writes, so the
+// perf trajectory (BENCH_*.json) can be compared across PRs.
+type benchReport struct {
+	GeneratedAt time.Time     `json:"generated_at"`
+	Scale       string        `json:"scale"`
+	Results     []benchResult `json:"results"`
+}
+
+type benchResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Seconds float64            `json:"seconds"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
 func main() {
 	var (
 		scaleF = flag.String("scale", "full", "experiment sizing: small | full")
 		runF   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonF  = flag.String("json", "", "also write results (metrics + timings) to this JSON file")
 	)
 	flag.Parse()
 
@@ -59,19 +78,46 @@ func main() {
 		}
 	}
 
+	report := benchReport{GeneratedAt: time.Now().UTC(), Scale: strings.ToLower(*scaleF)}
 	failed := 0
 	for _, e := range selected {
 		start := time.Now()
 		tbl, err := e.Run(scale)
+		res := benchResult{ID: e.ID, Title: e.Title, Seconds: time.Since(start).Seconds()}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			res.Error = err.Error()
+			report.Results = append(report.Results, res)
 			failed++
 			continue
 		}
 		tbl.Fprint(os.Stdout)
-		fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("(%s took %.1fs)\n\n", e.ID, res.Seconds)
+		res.Metrics = tbl.Metrics
+		report.Results = append(report.Results, res)
+	}
+	if *jsonF != "" {
+		if err := writeReport(*jsonF, &report); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonF, err)
+			failed++
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeReport saves the run record as indented JSON.
+func writeReport(path string, report *benchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	return f.Close()
 }

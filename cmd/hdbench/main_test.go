@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := benchReport{
+		GeneratedAt: time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC),
+		Scale:       "small",
+		Results: []benchResult{
+			{ID: "topk", Title: "top-k limits", Seconds: 1.5, Metrics: map[string]float64{"queries/candidate@k=1000": 3.2}},
+			{ID: "broken", Title: "a failing one", Seconds: 0.1, Error: "boom"},
+		},
+	}
+	if err := writeReport(path, &want); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got benchReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != want.Scale || len(got.Results) != 2 {
+		t.Fatalf("report lost data: %+v", got)
+	}
+	if got.Results[0].Metrics["queries/candidate@k=1000"] != 3.2 {
+		t.Fatalf("metrics lost: %+v", got.Results[0])
+	}
+	if got.Results[1].Error != "boom" {
+		t.Fatalf("error lost: %+v", got.Results[1])
+	}
+}

@@ -1,0 +1,86 @@
+// Command hdsamplerd is the HDSampler job-orchestration daemon: a
+// long-running HTTP/JSON service that accepts sampling jobs against web
+// form interfaces, runs them on per-job worker pools, shares query
+// history across jobs per target host, enforces per-host politeness
+// budgets, and checkpoints finished sample sets to disk.
+//
+// Usage:
+//
+//	hdsamplerd -addr :8099 -data ./samples -host-rate 50 -max-jobs 8
+//
+// Submit and watch jobs:
+//
+//	curl -X POST localhost:8099/jobs -d '{"url":"http://localhost:8080","n":200,"workers":4,"slider":0.85}'
+//	curl localhost:8099/jobs/j-0001
+//	curl localhost:8099/jobs/j-0001/samples > samples.json
+//	curl -X DELETE localhost:8099/jobs/j-0001
+//	curl localhost:8099/metrics
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: workers drain and
+// partial sample sets are persisted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdsampler/internal/jobsvc"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8099", "listen address")
+		dataDir   = flag.String("data", "", "checkpoint directory for finished sample sets (empty = no persistence)")
+		maxJobs   = flag.Int("max-jobs", 4, "max concurrently running jobs")
+		hostRate  = flag.Float64("host-rate", 0, "per-host politeness budget in queries/sec (0 = unlimited)")
+		hostBurst = flag.Int("host-burst", 10, "politeness token bucket capacity")
+		cacheCap  = flag.Int("cache-entries", 0, "max entries per shared host history cache (0 = unlimited)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	mgr, srv := newDaemon(*addr, jobsvc.Config{
+		DataDir:         *dataDir,
+		MaxConcurrent:   *maxJobs,
+		HostRatePerSec:  *hostRate,
+		HostBurst:       *hostBurst,
+		CacheMaxEntries: *cacheCap,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("hdsamplerd: listening on %s (max-jobs=%d, host-rate=%g/s, data=%q)",
+		*addr, *maxJobs, *hostRate, *dataDir)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hdsamplerd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("hdsamplerd: shutting down (draining up to %s)...", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("hdsamplerd: http shutdown: %v", err)
+	}
+	if err := mgr.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hdsamplerd: job drain: %v", err)
+	}
+	log.Printf("hdsamplerd: bye")
+}
+
+// newDaemon wires the job manager and its HTTP server.
+func newDaemon(addr string, cfg jobsvc.Config) (*jobsvc.Manager, *http.Server) {
+	mgr := jobsvc.NewManager(cfg)
+	return mgr, &http.Server{Addr: addr, Handler: jobsvc.NewHandler(mgr)}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/jobsvc"
+	"hdsampler/internal/webform"
+)
+
+// TestDaemonSmoke boots the wired daemon handler against an in-process
+// hidden database and runs one job through the REST API end to end.
+func TestDaemonSmoke(t *testing.T) {
+	ds := datagen.Vehicles(800, 21)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := httptest.NewServer(webform.NewServer(db, webform.Options{}))
+	t.Cleanup(target.Close)
+
+	mgr, srv := newDaemon(":0", jobsvc.Config{Client: target.Client(), DataDir: t.TempDir()})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+	api := httptest.NewServer(srv.Handler)
+	t.Cleanup(api.Close)
+
+	resp, err := http.Get(api.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	body := strings.NewReader(`{"url":"` + target.URL + `","n":15,"workers":2,"seed":3}`)
+	resp, err = http.Post(api.URL+"/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, raw)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(api.URL + "/jobs/j-0001")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		s := string(raw)
+		if strings.Contains(s, `"completed"`) {
+			break
+		}
+		if strings.Contains(s, `"failed"`) || time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %s", s)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

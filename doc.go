@@ -28,6 +28,10 @@
 //     HTTP / API connectors
 //   - internal/history — query memoization and inference
 //   - internal/core — the samplers, rejection and pipeline
+//   - internal/jobsvc — the sampling job-orchestration service behind
+//     cmd/hdsamplerd: worker pools, shared per-host history caches,
+//     politeness budgets, checkpoints and the REST API
+//   - internal/store — durable sample sets with schema and provenance
 //   - internal/exact — closed-form walk analysis for experiments
 //   - internal/estimate, internal/metrics — output statistics
 //   - internal/datagen — seeded synthetic datasets, including the Vehicles

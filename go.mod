@@ -1,0 +1,3 @@
+module hdsampler
+
+go 1.24

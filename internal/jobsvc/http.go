@@ -1,0 +1,149 @@
+package jobsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler exposes a Manager as the hdsamplerd REST API:
+//
+//	POST   /jobs              submit a job (body: Spec JSON) → 201 + View
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         one job's live progress
+//	DELETE /jobs/{id}         cancel a job
+//	GET    /jobs/{id}/samples the job's samples as a store.SampleSet
+//	GET    /metrics           service counters (Prometheus text format)
+//	GET    /healthz           liveness probe
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, fmt.Errorf("jobsvc: bad request body: %w", err), http.StatusBadRequest)
+			return
+		}
+		v, err := m.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrShuttingDown) {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, err, code)
+			return
+		}
+		writeJSON(w, http.StatusCreated, v)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := m.Job(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /jobs/{id}/samples", func(w http.ResponseWriter, r *http.Request) {
+		set, err := m.SampleSet(r.PathValue("id"))
+		if err != nil {
+			code := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrNotFound):
+				code = http.StatusNotFound
+			case errors.Is(err, ErrNoSamples):
+				code = http.StatusConflict
+			}
+			httpError(w, err, code)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := set.Write(w); err != nil {
+			// Headers are gone; nothing more to do than drop the conn.
+			return
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, m)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeMetrics renders service counters in the Prometheus text
+// exposition format (hand-rolled: no client library in the build).
+func writeMetrics(w http.ResponseWriter, m *Manager) {
+	byState := map[State]int{
+		StateQueued: 0, StateRunning: 0,
+		StateCompleted: 0, StateFailed: 0, StateCanceled: 0,
+	}
+	var accepted, queries int64
+	for _, v := range m.Jobs() {
+		byState[v.State]++
+		accepted += v.Accepted
+		queries += v.Queries
+	}
+	// Savings come from the host caches, not from summing per-job views:
+	// concurrent jobs on one cache observe overlapping windows, and the
+	// sum would overcount.
+	hosts := m.Hosts()
+	var saved int64
+	for _, h := range hosts {
+		saved += h.Saved()
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_jobs Jobs by lifecycle state.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_jobs gauge")
+	for _, s := range []State{StateQueued, StateRunning, StateCompleted, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "hdsamplerd_jobs{state=%q} %d\n", s, byState[s])
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_samples_accepted_total Accepted samples across all jobs.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_samples_accepted_total counter")
+	fmt.Fprintf(w, "hdsamplerd_samples_accepted_total %d\n", accepted)
+	fmt.Fprintln(w, "# HELP hdsamplerd_queries_total Interface queries issued by samplers across all jobs.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_queries_total counter")
+	fmt.Fprintf(w, "hdsamplerd_queries_total %d\n", queries)
+	fmt.Fprintln(w, "# HELP hdsamplerd_queries_saved_total Queries answered by shared history caches instead of the interface.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_queries_saved_total counter")
+	fmt.Fprintf(w, "hdsamplerd_queries_saved_total %d\n", saved)
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_issued_total Real queries forwarded to each host.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_issued_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_cache_issued_total{host=%q} %d\n", h.Host, h.Issued)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_saved_total Queries each host's shared cache answered (exact hits + inference).")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_saved_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_cache_saved_total{host=%q} %d\n", h.Host, h.Saved())
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_throttled_total Queries delayed by the per-host politeness budget.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_throttled_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_throttled_total{host=%q} %d\n", h.Host, h.Throttled)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, err error, code int) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

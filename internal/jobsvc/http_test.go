@@ -1,0 +1,63 @@
+package jobsvc
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+)
+
+func TestHTTPErrorPaths(t *testing.T) {
+	_, target := newTarget(t, 200, 50, hiddendb.CountNone)
+	m := newTestManager(t, target, Config{})
+	daemon := httptest.NewServer(NewHandler(m))
+	t.Cleanup(daemon.Close)
+	api := &apiClient{t: t, base: daemon.URL, c: daemon.Client()}
+
+	if code, body := api.do(http.MethodPost, "/jobs", map[string]any{"n": 5}); code != http.StatusBadRequest {
+		t.Errorf("POST without url: %d %s", code, body)
+	}
+	if code, _ := api.do(http.MethodGet, "/jobs/j-9999", nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown job: %d", code)
+	}
+	if code, _ := api.do(http.MethodDelete, "/jobs/j-9999", nil); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown job: %d", code)
+	}
+	if code, _ := api.do(http.MethodGet, "/jobs/j-9999/samples", nil); code != http.StatusNotFound {
+		t.Errorf("GET samples of unknown job: %d", code)
+	}
+	if code, body := api.do(http.MethodPost, "/jobs", "not json at all"); code != http.StatusBadRequest {
+		t.Errorf("POST with junk body: %d %s", code, body)
+	}
+
+	// An empty job table still lists and reports metrics.
+	if code, body := api.do(http.MethodGet, "/jobs", nil); code != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("GET /jobs empty: %d %q", code, body)
+	}
+	if code, _ := api.do(http.MethodGet, "/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz: %d", code)
+	}
+	code, body := api.do(http.MethodGet, "/metrics", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), `hdsamplerd_jobs{state="queued"} 0`) {
+		t.Errorf("metrics: %d %s", code, body)
+	}
+}
+
+func TestHTTPListsJobsInOrder(t *testing.T) {
+	_, target := newTarget(t, 500, 100, hiddendb.CountNone)
+	m := newTestManager(t, target, Config{})
+	daemon := httptest.NewServer(NewHandler(m))
+	t.Cleanup(daemon.Close)
+	api := &apiClient{t: t, base: daemon.URL, c: daemon.Client()}
+
+	a := api.submit(Spec{URL: target.URL, N: 5, Seed: 1})
+	b := api.submit(Spec{URL: target.URL, N: 5, Seed: 2})
+	views := m.Jobs()
+	if len(views) != 2 || views[0].ID != a.ID || views[1].ID != b.ID {
+		t.Fatalf("job order: %+v", views)
+	}
+	api.wait(a.ID, 30e9, func(v View) bool { return v.State.Terminal() })
+	api.wait(b.ID, 30e9, func(v View) bool { return v.State.Terminal() })
+}

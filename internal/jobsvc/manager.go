@@ -1,0 +1,578 @@
+package jobsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"hdsampler"
+	"hdsampler/internal/core"
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/history"
+	"hdsampler/internal/store"
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// DataDir, when set, receives one JSON checkpoint per finished job
+	// (<id>.json, a store.SampleSet) — including partial sets of failed
+	// and cancelled jobs. Empty disables persistence.
+	DataDir string
+	// MaxConcurrent bounds simultaneously running jobs; the rest queue.
+	// Default 4.
+	MaxConcurrent int
+	// HostRatePerSec is the per-host politeness budget: all jobs hitting
+	// one host together issue at most this many real interface queries
+	// per second. 0 disables throttling.
+	HostRatePerSec float64
+	// HostBurst is the politeness token bucket capacity (default 10).
+	HostBurst int
+	// CacheMaxEntries caps each shared per-host history cache
+	// (0 = unlimited).
+	CacheMaxEntries int
+	// Client overrides the HTTP client used for target connectors
+	// (timeouts, proxies, test servers).
+	Client *http.Client
+}
+
+// Manager owns the job table, the per-host connector stacks and the run
+// slots. It is safe for concurrent use by the HTTP layer.
+type Manager struct {
+	cfg Config
+	sem chan struct{}
+
+	mu     sync.Mutex
+	seq    int
+	jobs   map[string]*job
+	order  []string
+	hosts  map[string]*hostEntry
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// hostEntry shares one politeness limiter and one history cache across
+// every job hitting a host.
+type hostEntry struct {
+	host    string
+	limiter *hostLimiter
+
+	mu      sync.Mutex
+	targets map[string]*target
+}
+
+// target is one (connector kind, base URL) stack below the caches: the
+// raw formclient conn wrapped in the host's throttle. Caches are split by
+// TrustCounts because trusted and untrusted inference disagree.
+type target struct {
+	conn   formclient.Conn
+	caches map[bool]*history.Cache
+}
+
+// job is the manager's internal job record.
+type job struct {
+	id   string
+	spec Spec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	cache  *history.Cache // shared per-host cache this job draws through (nil with NoHistory)
+
+	mu         sync.Mutex
+	state      State
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	rs         *hdsampler.ReplicaSet
+	crawler    *core.Crawler
+	savedAt0   int64
+	finalStats hdsampler.Stats
+	err        error
+	set        *store.SampleSet
+	checkpoint string
+	cancelled  bool
+}
+
+// NewManager builds a manager; call Shutdown before discarding it.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	return &Manager{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		jobs:  make(map[string]*job),
+		hosts: make(map[string]*hostEntry),
+	}
+}
+
+// Submit validates and enqueues a job, returning its initial view. The
+// job starts as soon as a run slot frees up.
+func (m *Manager) Submit(spec Spec) (View, error) {
+	u, err := spec.normalize()
+	if err != nil {
+		return View{}, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return View{}, ErrShuttingDown
+	}
+	host := m.hostLocked(u.Host)
+	m.mu.Unlock()
+
+	// Assemble the connector stack before publishing the job, so every
+	// field concurrent view() calls read is in place first.
+	conn, cache := host.connFor(spec, m.cfg)
+	j := &job{
+		spec:    spec,
+		cache:   cache,
+		state:   StateQueued,
+		created: time.Now().UTC(),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return View{}, ErrShuttingDown
+	}
+	m.seq++
+	j.id = fmt.Sprintf("j-%04d", m.seq)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.run(j, conn)
+	return j.view(), nil
+}
+
+// hostLocked returns (creating on first use) the entry for host; the
+// caller holds m.mu.
+func (m *Manager) hostLocked(host string) *hostEntry {
+	he, ok := m.hosts[host]
+	if !ok {
+		he = &hostEntry{host: host, targets: make(map[string]*target)}
+		if m.cfg.HostRatePerSec > 0 {
+			he.limiter = newHostLimiter(m.cfg.HostRatePerSec, m.cfg.HostBurst)
+		}
+		m.hosts[host] = he
+	}
+	return he
+}
+
+// connFor assembles the job's connector stack: base conn (shared per
+// target URL) → per-host throttle → shared history cache (unless opted
+// out) → per-job query budget.
+func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.Cache) {
+	key := spec.Connector + "|" + spec.URL
+
+	he.mu.Lock()
+	tg, ok := he.targets[key]
+	if !ok {
+		var base formclient.Conn
+		opts := formclient.HTTPOptions{Client: cfg.Client}
+		if spec.Connector == ConnectorAPI {
+			base = formclient.NewAPI(spec.URL, opts)
+		} else {
+			base = formclient.NewHTTP(spec.URL, opts)
+		}
+		if he.limiter != nil {
+			base = &throttleConn{inner: base, lim: he.limiter}
+		}
+		tg = &target{conn: base, caches: make(map[bool]*history.Cache)}
+		he.targets[key] = tg
+	}
+	var conn formclient.Conn = tg.conn
+	var cache *history.Cache
+	if !spec.NoHistory {
+		cache, ok = tg.caches[spec.TrustCounts]
+		if !ok {
+			cache = history.New(tg.conn, history.Options{
+				TrustCounts: spec.TrustCounts,
+				MaxEntries:  cfg.CacheMaxEntries,
+			})
+			tg.caches[spec.TrustCounts] = cache
+		}
+		conn = cache
+	}
+	he.mu.Unlock()
+
+	if spec.MaxQueries > 0 && spec.Method != MethodCrawl {
+		conn = &budgetConn{inner: conn, budget: spec.MaxQueries}
+	}
+	return conn, cache
+}
+
+// run executes one job to completion; it owns the job's state machine.
+func (m *Manager) run(j *job, conn formclient.Conn) {
+	defer m.wg.Done()
+
+	// Acquire a run slot; cancellation while queued finishes the job
+	// without ever running it.
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-j.ctx.Done():
+		j.finish(m, nil, hdsampler.Stats{}, j.ctx.Err())
+		return
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	if j.cache != nil {
+		j.savedAt0 = j.cache.CacheStats().Saved()
+	}
+	j.mu.Unlock()
+
+	if j.spec.Method == MethodCrawl {
+		m.runCrawl(j, conn)
+		return
+	}
+
+	cfg := hdsampler.Config{
+		Seed:         j.spec.Seed,
+		Slider:       j.spec.Slider,
+		C:            j.spec.C,
+		K:            j.spec.K,
+		ShuffleOrder: !j.spec.NoShuffle,
+		// History, when on, is already in the conn stack (shared across
+		// jobs); the replicas must not wrap another cache on top.
+		UseHistory: false,
+	}
+	if j.spec.Method == MethodWeighted {
+		cfg.Method = hdsampler.MethodCountWeighted
+		cfg.UseParentCount = j.spec.TrustCounts
+	}
+	rs, err := hdsampler.NewReplicaSet(j.ctx, conn, cfg, j.spec.Workers)
+	if err != nil {
+		j.finish(m, nil, hdsampler.Stats{}, err)
+		return
+	}
+	j.mu.Lock()
+	j.rs = rs
+	j.mu.Unlock()
+
+	_, stats, err := rs.Draw(j.ctx, j.spec.N)
+	set, serr := j.sampleSet(rs.Schema(), rs.Samples(), rs.C(), stats.Queries)
+	if err == nil {
+		err = serr
+	}
+	j.finish(m, set, stats, err)
+}
+
+// runCrawl executes a full-extraction job.
+func (m *Manager) runCrawl(j *job, conn formclient.Conn) {
+	start := time.Now()
+	c, err := core.NewCrawler(j.ctx, conn, core.CrawlerConfig{MaxQueries: j.spec.MaxQueries})
+	if err != nil {
+		j.finish(m, nil, hdsampler.Stats{}, err)
+		return
+	}
+	j.mu.Lock()
+	j.crawler = c
+	j.mu.Unlock()
+
+	tuples, err := c.Run(j.ctx)
+	stats := hdsampler.Stats{
+		Accepted:   int64(len(tuples)),
+		Candidates: int64(len(tuples)),
+		Queries:    c.Queries(),
+		Elapsed:    time.Since(start),
+	}
+	schema, serr := conn.Schema(j.ctx)
+	var set *store.SampleSet
+	if serr == nil {
+		samples := make([]hdsampler.Sample, len(tuples))
+		for i, t := range tuples {
+			samples[i] = hdsampler.Sample{Tuple: t}
+		}
+		set, serr = j.sampleSet(schema, samples, 1, stats.Queries)
+	}
+	if err == nil {
+		err = serr
+	}
+	j.finish(m, set, stats, err)
+}
+
+// sampleSet packages accepted samples as a persistable store.SampleSet;
+// nil (with no error) when there are no samples to keep.
+func (j *job) sampleSet(schema *hdsampler.Schema, samples []hdsampler.Sample, c float64, queries int64) (*store.SampleSet, error) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	tuples := make([]hdsampler.Tuple, len(samples))
+	reaches := make([]float64, len(samples))
+	for i, s := range samples {
+		tuples[i] = s.Tuple
+		reaches[i] = s.Reach
+	}
+	return store.New(j.spec.URL, j.spec.Method, c, schema, tuples, reaches, queries)
+}
+
+// finish records the terminal state and checkpoints the sample set.
+func (j *job) finish(m *Manager, set *store.SampleSet, stats hdsampler.Stats, err error) {
+	j.mu.Lock()
+	if j.cache != nil {
+		stats.QueriesSaved = j.cache.CacheStats().Saved() - j.savedAt0
+	}
+	j.finished = time.Now().UTC()
+	j.finalStats = stats
+	j.set = set
+	switch {
+	case j.cancelled || errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		if err == nil || errors.Is(err, context.Canceled) {
+			err = nil
+		}
+	case err != nil:
+		j.state = StateFailed
+	default:
+		j.state = StateCompleted
+	}
+	j.err = err
+	// Release the replica machinery: terminal views read finalStats and
+	// j.set, and a long-running daemon must not retain every finished
+	// job's samplers, pipelines and duplicate sample slices.
+	j.rs = nil
+	j.crawler = nil
+	id := j.id
+	j.mu.Unlock()
+
+	if m.cfg.DataDir != "" && set != nil {
+		path := filepath.Join(m.cfg.DataDir, id+".json")
+		perr := os.MkdirAll(m.cfg.DataDir, 0o755)
+		if perr == nil {
+			perr = store.SaveFile(path, set)
+		}
+		j.mu.Lock()
+		if perr != nil {
+			// Keep the terminal state but surface the broken durability on
+			// the view and in the daemon log.
+			log.Printf("jobsvc: job %s: checkpoint %s: %v", id, path, perr)
+			if j.err == nil {
+				j.err = fmt.Errorf("checkpoint: %w", perr)
+			}
+		} else {
+			j.checkpoint = path
+		}
+		j.mu.Unlock()
+	}
+}
+
+// view snapshots the job, folding in live pool progress while running.
+func (j *job) view() View {
+	j.mu.Lock()
+	v := View{
+		ID:      j.id,
+		State:   j.state,
+		Spec:    j.spec,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	v.Checkpoint = j.checkpoint
+	rs, crawler := j.rs, j.crawler
+	terminal := j.state.Terminal()
+	stats := j.finalStats
+	cache, savedAt0 := j.cache, j.savedAt0
+	started := j.started
+	j.mu.Unlock()
+
+	switch {
+	case terminal:
+	case rs != nil:
+		stats = rs.Progress()
+		if cache != nil {
+			stats.QueriesSaved = cache.CacheStats().Saved() - savedAt0
+		}
+	case crawler != nil:
+		stats = hdsampler.Stats{Queries: crawler.Queries()}
+		if !started.IsZero() {
+			stats.Elapsed = time.Since(started)
+		}
+	}
+	v.Accepted = stats.Accepted
+	v.Candidates = stats.Candidates
+	v.Rejected = stats.Rejected
+	v.Queries = stats.Queries
+	v.QueriesSaved = stats.QueriesSaved
+	if stats.Candidates > 0 {
+		v.AcceptanceRate = float64(stats.Accepted) / float64(stats.Candidates)
+	}
+	v.ElapsedSeconds = stats.Elapsed.Seconds()
+	return v
+}
+
+// Jobs lists every job in submission order.
+func (m *Manager) Jobs() []View {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		js = append(js, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]View, len(js))
+	for i, j := range js {
+		out[i] = j.view()
+	}
+	return out
+}
+
+// Job returns one job's snapshot.
+func (m *Manager) Job(id string) (View, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// Cancel stops a queued or running job; cancelling a terminal job is a
+// no-op. The job transitions to canceled once its workers drain.
+func (m *Manager) Cancel(id string) (View, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.cancelled = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return j.view(), nil
+}
+
+// SampleSet returns a job's samples as a persistable set: the final set
+// for terminal jobs, a live snapshot for running ones.
+func (m *Manager) SampleSet(id string) (*store.SampleSet, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	set, rs := j.set, j.rs
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		if set == nil {
+			return nil, ErrNoSamples
+		}
+		return set, nil
+	}
+	if rs == nil {
+		return nil, ErrNoSamples
+	}
+	live, err := j.sampleSet(rs.Schema(), rs.Samples(), rs.C(), rs.Progress().Queries)
+	if err != nil {
+		return nil, err
+	}
+	if live == nil {
+		return nil, ErrNoSamples
+	}
+	return live, nil
+}
+
+// HostStats aggregates one host's shared-infrastructure counters.
+type HostStats struct {
+	Host string `json:"host"`
+	// Issued / ExactHits / Inferred sum the host's history caches.
+	Issued    int64 `json:"issued"`
+	ExactHits int64 `json:"exact_hits"`
+	Inferred  int64 `json:"inferred"`
+	// Entries is the total cached query count, Throttled the queries the
+	// politeness limiter had to delay.
+	Entries   int   `json:"entries"`
+	Throttled int64 `json:"throttled"`
+}
+
+// Saved is the host's total query-history savings.
+func (h HostStats) Saved() int64 { return h.ExactHits + h.Inferred }
+
+// Hosts reports per-host cache and politeness stats, sorted by host.
+func (m *Manager) Hosts() []HostStats {
+	m.mu.Lock()
+	hes := make([]*hostEntry, 0, len(m.hosts))
+	for _, he := range m.hosts {
+		hes = append(hes, he)
+	}
+	m.mu.Unlock()
+	out := make([]HostStats, 0, len(hes))
+	for _, he := range hes {
+		hs := HostStats{Host: he.host}
+		if he.limiter != nil {
+			hs.Throttled = he.limiter.waits.Load()
+		}
+		he.mu.Lock()
+		for _, tg := range he.targets {
+			for _, c := range tg.caches {
+				cs := c.CacheStats()
+				hs.Issued += cs.Issued
+				hs.ExactHits += cs.ExactHits
+				hs.Inferred += cs.Inferred
+				hs.Entries += c.Len()
+			}
+		}
+		he.mu.Unlock()
+		out = append(out, hs)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Host < out[k].Host })
+	return out
+}
+
+// Shutdown stops accepting jobs, cancels everything queued or running and
+// waits (bounded by ctx) for the workers to drain; partial sample sets
+// are persisted by each job's normal finish path.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	js := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	for _, j := range js {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.cancelled = true
+		}
+		j.mu.Unlock()
+		j.cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobsvc: shutdown: %w", ctx.Err())
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -156,5 +157,49 @@ func TestDecodeRejectsOutOfDomain(t *testing.T) {
 	set.Samples[0].Vals[0] = 99
 	if _, _, err := set.DecodeSamples(); err == nil {
 		t.Error("out-of-domain value accepted")
+	}
+}
+
+func TestLoadFileCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"truncated.json":  `{"source":"x","schema":{"name":"v","attrs":[{"na`,
+		"not-json.json":   "<html>502 Bad Gateway</html>",
+		"empty.json":      "",
+		"bad-schema.json": `{"source":"x","schema":{"name":"v","attrs":[{"name":"a","kind":"fancy","values":["1"]}]},"samples":[]}`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadFile(path); err == nil {
+				t.Fatalf("corrupt file %s loaded without error", name)
+			}
+		})
+	}
+}
+
+func TestMergeRejectsCorruptSchemas(t *testing.T) {
+	good, _, _ := vehicleSet(t, 5, false)
+	bad, _, _ := vehicleSet(t, 5, false)
+	bad.Schema.Attrs[0].Kind = "corrupted"
+	if err := good.Merge(bad); err == nil {
+		t.Error("merge with corrupt other-schema accepted")
+	}
+	if err := bad.Merge(good); err == nil {
+		t.Error("merge onto corrupt receiver accepted")
+	}
+	if len(good.Samples) != 5 {
+		t.Fatalf("failed merge mutated the receiver: %d samples", len(good.Samples))
+	}
+}
+
+func TestDecodeRejectsArityMismatch(t *testing.T) {
+	set, _, _ := vehicleSet(t, 3, false)
+	set.Samples[1].Vals = set.Samples[1].Vals[:1]
+	if _, _, err := set.DecodeSamples(); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("arity mismatch accepted: %v", err)
 	}
 }

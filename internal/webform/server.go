@@ -8,6 +8,7 @@
 package webform
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"html/template"
@@ -172,10 +173,21 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 		}
 		data.Attrs = append(data.Attrs, fa)
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := formTmpl.Execute(w, data); err != nil {
+	renderHTML(w, formTmpl, data)
+}
+
+// renderHTML executes the template into a buffer before writing, so a
+// template error yields a clean 500 and a client that disconnects
+// mid-response (a cancelled sampler) cannot provoke a second
+// WriteHeader.
+func renderHTML(w http.ResponseWriter, tmpl *template.Template, data any) {
+	var buf bytes.Buffer
+	if err := tmpl.Execute(&buf, data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // parseQuery translates form parameters (attrName=valueIndex, empty = any)
@@ -301,10 +313,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for i := range rows {
 		data.Rows = append(data.Rows, resultRow{ID: rows[i].ID, Cells: renderCells(schema, &rows[i])})
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := resultsTmpl.Execute(w, data); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	renderHTML(w, resultsTmpl, data)
 }
 
 // renderCells renders a tuple the way a listing site would: labels for
@@ -351,10 +360,7 @@ func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {
 	for a := range schema.Attrs {
 		data.Fields = append(data.Fields, struct{ Name, Value string }{schema.Attrs[a].Name, cells[a]})
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := itemTmpl.Execute(w, data); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	renderHTML(w, itemTmpl, data)
 }
 
 // apiSchema is the JSON wire form of a schema.

@@ -12,85 +12,207 @@ import (
 	"hdsampler/internal/history"
 )
 
-// DrawParallel collects n accepted samples using `workers` independent
-// sampler replicas over the same connector (each with a derived seed), the
-// natural way to exploit a site that tolerates concurrent clients. When
-// cfg.UseHistory is set the replicas share one history cache, so any
-// worker's answers save every other worker's queries.
+// ReplicaSet is the replica machinery behind DrawParallel, exposed as a
+// reusable object for long-running callers (the jobsvc daemon) that need
+// live progress and partial results while a draw is underway: `workers`
+// independent sampler replicas over the same connector, each with a
+// derived seed, drawing concurrently through per-replica pipelines.
+//
+// When cfg.UseHistory is set the replicas share one history cache, so any
+// worker's answers save every other worker's queries. If the connector
+// passed in is itself a *history.Cache the set adopts it instead of
+// wrapping a new one — that is how a service shares one cache per target
+// host across many concurrent ReplicaSets.
 //
 // The combined sample is a fair mixture of independent samplers and keeps
 // the per-replica statistical guarantees.
-func DrawParallel(ctx context.Context, conn Conn, cfg Config, n, workers int) ([]Tuple, Stats, error) {
-	if workers < 1 {
-		return nil, Stats{}, fmt.Errorf("hdsampler: workers = %d, need >= 1", workers)
-	}
-	if workers == 1 || n < workers {
-		s, err := New(ctx, conn, cfg)
-		if err != nil {
-			return nil, Stats{}, err
-		}
-		return s.Draw(ctx, n)
-	}
+type ReplicaSet struct {
+	samplers []*Sampler
+	cache    *history.Cache
+	savedAt0 int64
 
-	// When history is enabled the replicas share a single cache (it is
-	// safe for concurrent use), so any worker's answers save every other
-	// worker's queries.
-	effective := conn
-	var shared *history.Cache
-	if cfg.UseHistory {
-		shared = history.New(conn, history.Options{TrustCounts: cfg.TrustCounts})
-		effective = shared
+	mu        sync.Mutex
+	started   bool
+	startTime time.Time
+	elapsed   time.Duration
+	pipelines []*Pipeline
+	samples   []Sample
+}
+
+// NewReplicaSet builds `workers` sampler replicas over conn. Replica i
+// samples with seed cfg.Seed + i·7919, so runs with equal configurations
+// are reproducible.
+func NewReplicaSet(ctx context.Context, conn Conn, cfg Config, workers int) (*ReplicaSet, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("hdsampler: workers = %d, need >= 1", workers)
 	}
-	samplers := make([]*Sampler, workers)
-	for i := range samplers {
+	rs := &ReplicaSet{}
+	effective := conn
+	if cfg.UseHistory {
+		if hc, ok := conn.(*history.Cache); ok {
+			rs.cache = hc // adopt the caller's (possibly shared) cache
+		} else {
+			rs.cache = history.New(conn, history.Options{TrustCounts: cfg.TrustCounts})
+		}
+		effective = rs.cache
+		rs.savedAt0 = rs.cache.CacheStats().Saved()
+	}
+	rs.samplers = make([]*Sampler, workers)
+	for i := range rs.samplers {
 		wcfg := cfg
 		wcfg.Seed = cfg.Seed + int64(i)*7919 // distinct streams per worker
 		wcfg.UseHistory = false              // the shared cache sits below
 		s, err := New(ctx, effective, wcfg)
 		if err != nil {
-			return nil, Stats{}, err
+			return nil, err
 		}
-		samplers[i] = s
+		rs.samplers[i] = s
 	}
+	return rs, nil
+}
+
+// Workers returns the replica count.
+func (rs *ReplicaSet) Workers() int { return len(rs.samplers) }
+
+// Schema returns the target database's discovered schema.
+func (rs *ReplicaSet) Schema() *Schema { return rs.samplers[0].Schema() }
+
+// C returns the effective rejection target of the replicas (they share
+// one configuration, so replica 0 speaks for all).
+func (rs *ReplicaSet) C() float64 { return rs.samplers[0].C() }
+
+// Draw collects n accepted samples across the replicas. It may be called
+// once per ReplicaSet. On error or cancellation it returns the samples
+// accepted so far along with the stats; Samples() keeps the full
+// provenance (reach, per-draw query cost) of the same tuples.
+func (rs *ReplicaSet) Draw(ctx context.Context, n int) ([]Tuple, Stats, error) {
+	rs.mu.Lock()
+	if rs.started {
+		rs.mu.Unlock()
+		return nil, Stats{}, fmt.Errorf("hdsampler: ReplicaSet.Draw called twice")
+	}
+	rs.started = true
+	rs.startTime = time.Now()
+
+	// Split the target across replicas; replicas with a zero quota stay
+	// idle (a pipeline target of 0 would run unbounded).
+	quota := make([]int, len(rs.samplers))
+	for i := 0; i < n; i++ {
+		quota[i%len(quota)]++
+	}
+	rs.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	start := time.Now()
-
-	var mu sync.Mutex
-	var out []Tuple
-	var agg Stats
-	var firstErr error
-	quota := make([]int, workers)
-	for i := 0; i < n; i++ {
-		quota[i%workers]++
-	}
 
 	var wg sync.WaitGroup
-	for i, s := range samplers {
+	var errMu sync.Mutex
+	var firstErr error
+	for i, s := range rs.samplers {
+		if quota[i] == 0 {
+			continue
+		}
+		// Start before publishing the pipeline, so concurrent Progress
+		// calls only ever observe started pipelines.
+		p := s.NewPipeline(quota[i])
+		ch := p.Start(ctx)
+		rs.mu.Lock()
+		rs.pipelines = append(rs.pipelines, p)
+		rs.mu.Unlock()
 		wg.Add(1)
-		go func(i int, s *Sampler) {
+		go func(p *Pipeline, ch <-chan Sample) {
 			defer wg.Done()
-			tuples, st, err := s.Draw(ctx, quota[i])
-			mu.Lock()
-			defer mu.Unlock()
-			out = append(out, tuples...)
-			agg.Candidates += st.Candidates
-			agg.Accepted += st.Accepted
-			agg.Rejected += st.Rejected
-			agg.Queries += st.Queries
-			if err != nil && firstErr == nil {
-				firstErr = err
-				cancel()
+			for s := range ch {
+				rs.mu.Lock()
+				rs.samples = append(rs.samples, s)
+				rs.mu.Unlock()
 			}
-		}(i, s)
+			if err := p.Err(); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				errMu.Unlock()
+			}
+		}(p, ch)
 	}
 	wg.Wait()
-	agg.Elapsed = time.Since(start)
-	if shared != nil {
-		agg.QueriesSaved = shared.CacheStats().Saved()
+
+	rs.mu.Lock()
+	rs.elapsed = time.Since(rs.startTime)
+	tuples := make([]Tuple, len(rs.samples))
+	for i := range rs.samples {
+		tuples[i] = rs.samples[i].Tuple
 	}
-	return out, agg, firstErr
+	rs.mu.Unlock()
+
+	st := rs.Progress()
+	if firstErr == nil && len(tuples) < n {
+		// Pipelines stopped short without their own error: the caller's
+		// context was cancelled.
+		firstErr = ctx.Err()
+	}
+	return tuples, st, firstErr
+}
+
+// Progress returns a live statistics snapshot; safe to call from any
+// goroutine while Draw runs, and after it returns.
+func (rs *ReplicaSet) Progress() Stats {
+	rs.mu.Lock()
+	pipelines := rs.pipelines
+	accepted := int64(len(rs.samples))
+	elapsed := rs.elapsed
+	if elapsed == 0 && !rs.startTime.IsZero() {
+		elapsed = time.Since(rs.startTime)
+	}
+	rs.mu.Unlock()
+
+	st := Stats{Accepted: accepted, Elapsed: elapsed}
+	for _, p := range pipelines {
+		pr := p.Progress()
+		st.Candidates += pr.Candidates
+		st.Rejected += pr.Rejected
+		st.Queries += pr.Queries
+	}
+	if rs.cache != nil {
+		st.QueriesSaved = rs.cache.CacheStats().Saved() - rs.savedAt0
+	}
+	return st
+}
+
+// Samples returns a snapshot of the accepted samples with provenance
+// (reach probabilities and per-draw query costs) — the inputs a persisted
+// store.SampleSet wants.
+func (rs *ReplicaSet) Samples() []Sample {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]Sample, len(rs.samples))
+	copy(out, rs.samples)
+	return out
+}
+
+// DrawParallel collects n accepted samples using `workers` independent
+// sampler replicas over the same connector (each with a derived seed), the
+// natural way to exploit a site that tolerates concurrent clients. When
+// cfg.UseHistory is set the replicas share one history cache, so any
+// worker's answers save every other worker's queries. It is a one-shot
+// convenience over NewReplicaSet.
+func DrawParallel(ctx context.Context, conn Conn, cfg Config, n, workers int) ([]Tuple, Stats, error) {
+	if workers < 1 {
+		return nil, Stats{}, fmt.Errorf("hdsampler: workers = %d, need >= 1", workers)
+	}
+	if n < workers {
+		// More replicas than samples would leave idle workers; a single
+		// replica (still through the ReplicaSet, so an injected cache is
+		// adopted rather than double-wrapped) is equivalent.
+		workers = 1
+	}
+	rs, err := NewReplicaSet(ctx, conn, cfg, workers)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return rs.Draw(ctx, n)
 }
 
 // Crawl exhaustively extracts every reachable tuple through the interface —

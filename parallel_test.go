@@ -2,11 +2,14 @@ package hdsampler
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"hdsampler/internal/datagen"
 	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/history"
 )
 
 func TestDrawParallel(t *testing.T) {
@@ -63,6 +66,93 @@ func TestDrawParallelPropagatesError(t *testing.T) {
 	cfg := Config{Seed: 3, Method: MethodCountWeighted}
 	if _, _, err := DrawParallel(ctx, conn, cfg, 40, 4); err == nil {
 		t.Fatal("expected error from count sampler without counts")
+	}
+}
+
+func TestDrawParallelContextCancellation(t *testing.T) {
+	_, conn := localVehicles(t, 5000, 500, hiddendb.CountNone)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	cfg := Config{Seed: 9, Slider: 1, UseHistory: true}
+	tuples, stats, err := DrawParallel(ctx, conn, cfg, 10_000_000, 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if len(tuples) >= 10_000_000 {
+		t.Fatal("cancelled draw completed anyway")
+	}
+	if int(stats.Accepted) != len(tuples) {
+		t.Fatalf("stats.Accepted = %d but %d tuples returned", stats.Accepted, len(tuples))
+	}
+}
+
+func TestReplicaSetLiveProgressAndSamples(t *testing.T) {
+	_, conn := localVehicles(t, 2000, 200, hiddendb.CountNone)
+	ctx := context.Background()
+	rs, err := NewReplicaSet(ctx, conn, Config{Seed: 7, Slider: 1, UseHistory: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Workers() != 3 || rs.Schema() == nil {
+		t.Fatalf("replica set malformed: workers=%d", rs.Workers())
+	}
+	tuples, stats, err := rs.Draw(ctx, 50)
+	if err != nil || len(tuples) != 50 {
+		t.Fatalf("draw: %d tuples, %v", len(tuples), err)
+	}
+	samples := rs.Samples()
+	if len(samples) != 50 {
+		t.Fatalf("provenance snapshot has %d samples", len(samples))
+	}
+	for i := range samples {
+		if samples[i].Tuple.ID != tuples[i].ID {
+			t.Fatal("Samples() and Draw() disagree on order")
+		}
+		if samples[i].Reach <= 0 || samples[i].Reach > 1 {
+			t.Fatalf("sample %d reach = %g", i, samples[i].Reach)
+		}
+	}
+	if pr := rs.Progress(); pr.Accepted != stats.Accepted || pr.Queries != stats.Queries {
+		t.Fatalf("post-draw Progress %+v disagrees with Draw stats %+v", pr, stats)
+	}
+	// A ReplicaSet is one-shot.
+	if _, _, err := rs.Draw(ctx, 1); err == nil {
+		t.Fatal("second Draw accepted")
+	}
+}
+
+func TestReplicaSetAdoptsInjectedCache(t *testing.T) {
+	_, conn := localVehicles(t, 2000, 200, hiddendb.CountNone)
+	ctx := context.Background()
+	shared := history.New(conn, history.Options{})
+	cfg := Config{Seed: 11, Slider: 1, UseHistory: true}
+
+	rs1, err := NewReplicaSet(ctx, shared, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rs1.Draw(ctx, 40); err != nil {
+		t.Fatal(err)
+	}
+	warm := shared.CacheStats()
+
+	// A second set over the same cache draws on the first set's answers;
+	// its QueriesSaved counts only its own run.
+	cfg.Seed = 12
+	rs2, err := NewReplicaSet(ctx, shared, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := rs2.Draw(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QueriesSaved == 0 {
+		t.Fatal("second replica set saw no savings from the shared cache")
+	}
+	total := shared.CacheStats()
+	if got, want := stats.QueriesSaved, total.Saved()-warm.Saved(); got != want {
+		t.Fatalf("QueriesSaved = %d, want the run's delta %d", got, want)
 	}
 }
 

@@ -9,6 +9,8 @@ package hdsampler
 
 import (
 	"context"
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -57,6 +59,7 @@ func BenchmarkTableOrdering(b *testing.B)           { benchExperiment(b, "orderi
 func BenchmarkTableCrawlVsSample(b *testing.B)      { benchExperiment(b, "crawl") }
 func BenchmarkTableWeighted(b *testing.B)           { benchExperiment(b, "weighted") }
 func BenchmarkTableDeployment(b *testing.B)         { benchExperiment(b, "deployment") }
+func BenchmarkTableCacheConcurrency(b *testing.B)   { benchExperiment(b, "cache") }
 
 // --- substrate micro-benchmarks ---
 
@@ -136,6 +139,76 @@ func BenchmarkHistoryCachedExecute(b *testing.B) {
 		if _, err := cache.Execute(ctx, q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHistoryParallelExecute measures contended cache-hit throughput:
+// every goroutine hammers one shared history cache with a warm working set,
+// the access pattern of a jobsvc worker pool sharing a per-host cache.
+func BenchmarkHistoryParallelExecute(b *testing.B) {
+	db := benchVehiclesDB(b, 20000, 1000, hiddendb.CountNone)
+	cache := history.New(formclient.NewLocal(db), history.Options{})
+	ctx := context.Background()
+	var queries []hiddendb.Query
+	for mk := 0; mk < 8; mk++ {
+		for cond := 0; cond < 2; cond++ {
+			q := hiddendb.MustQuery(
+				hiddendb.Predicate{Attr: datagen.VehAttrMake, Value: mk},
+				hiddendb.Predicate{Attr: datagen.VehAttrCondition, Value: cond})
+			if _, err := cache.Execute(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+			queries = append(queries, q)
+		}
+	}
+	b.SetParallelism(4) // 4 x GOMAXPROCS goroutines: a busy worker pool
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := cache.Execute(ctx, queries[i%len(queries)]); err != nil {
+				// b.Fatal must not be called off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkHistoryDeepInference measures ancestor inference on deep
+// queries (d = 12 predicates): a complete root answer is cached, every
+// iteration infers a distinct depth-12 query's answer from it.
+func BenchmarkHistoryDeepInference(b *testing.B) {
+	const attrs = 24
+	ds := datagen.IIDBoolean(attrs, 50, 0.5, 11)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := history.New(formclient.NewLocal(db), history.Options{MaxInferDepth: 12})
+	ctx := context.Background()
+	// k >= n: the root answer is complete, so every deeper query is
+	// inferable from it (rule 2) — after scanning the ancestor space.
+	if _, err := cache.Execute(ctx, hiddendb.EmptyQuery()); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perm := rng.Perm(attrs)[:12]
+		sort.Ints(perm)
+		q := hiddendb.EmptyQuery()
+		for _, a := range perm {
+			q = q.With(a, rng.Intn(2))
+		}
+		if _, err := cache.Execute(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cs := cache.CacheStats()
+	if cs.Issued > 1+int64(b.N)/100 {
+		b.Fatalf("deep queries leaked past inference: issued %d of %d", cs.Issued, b.N)
 	}
 }
 

@@ -1,6 +1,9 @@
 // Command hdbench regenerates every table and figure of the HDSampler
 // reproduction (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
-// recorded outputs).
+// recorded outputs), plus the system-side exhibits (e.g. "cache": the
+// shared history cache under concurrency). CI runs `hdbench -json` at
+// small scale on every PR and archives the report, so the perf
+// trajectory of the hot paths is recorded per change.
 //
 // Usage:
 //

@@ -41,6 +41,7 @@ func main() {
 		hostRate  = flag.Float64("host-rate", 0, "per-host politeness budget in queries/sec (0 = unlimited)")
 		hostBurst = flag.Int("host-burst", 10, "politeness token bucket capacity")
 		cacheCap  = flag.Int("cache-entries", 0, "max entries per shared host history cache (0 = unlimited)")
+		histDir   = flag.String("history-dir", "", "checkpoint directory for shared history caches: dumped on shutdown, warm-started on first use (empty = off)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 		HostRatePerSec:  *hostRate,
 		HostBurst:       *hostBurst,
 		CacheMaxEntries: *cacheCap,
+		HistoryDir:      *histDir,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

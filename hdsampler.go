@@ -215,8 +215,14 @@ func (s *Sampler) C() float64 {
 	}
 }
 
-// Draw synchronously collects n accepted samples.
+// Draw synchronously collects n accepted samples. Stats are per-call
+// deltas: QueriesSaved is windowed over this call like every other
+// counter, so consecutive Draws never double-report cache savings.
 func (s *Sampler) Draw(ctx context.Context, n int) ([]Tuple, Stats, error) {
+	var saved0 int64
+	if s.cache != nil {
+		saved0 = s.cache.CacheStats().Saved()
+	}
 	tuples, cs, err := core.Collect(ctx, s.gen, s.rej, n)
 	st := Stats{
 		Candidates: cs.Candidates,
@@ -226,7 +232,7 @@ func (s *Sampler) Draw(ctx context.Context, n int) ([]Tuple, Stats, error) {
 		Elapsed:    cs.Elapsed,
 	}
 	if s.cache != nil {
-		st.QueriesSaved = s.cache.CacheStats().Saved()
+		st.QueriesSaved = s.cache.CacheStats().Saved() - saved0
 	}
 	return tuples, st, err
 }

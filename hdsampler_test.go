@@ -266,3 +266,56 @@ func TestExplicitCOverridesSlider(t *testing.T) {
 		t.Fatalf("C = %g, want 0.001", s.C())
 	}
 }
+
+// QueriesSaved must be a per-call delta like every other Stats field; a
+// second Draw reporting the cache's cumulative savings was the regression.
+func TestDrawStatsSavedIsPerCallDelta(t *testing.T) {
+	_, conn := localVehicles(t, 2000, 500, hiddendb.CountNone)
+	ctx := context.Background()
+	s, err := New(ctx, conn, Config{Seed: 3, UseHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1, err := s.Draw(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := s.Draw(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalSaved, _ := s.HistoryStats()
+	if st1.QueriesSaved+st2.QueriesSaved != totalSaved {
+		t.Fatalf("per-call savings %d + %d must sum to the cache total %d",
+			st1.QueriesSaved, st2.QueriesSaved, totalSaved)
+	}
+	if st1.QueriesSaved == 0 || st2.QueriesSaved == 0 {
+		t.Fatalf("both draws should save queries (got %d, %d)", st1.QueriesSaved, st2.QueriesSaved)
+	}
+}
+
+// DrawWeighted shares Draw's windowing contract.
+func TestDrawWeightedSavedIsPerCallDelta(t *testing.T) {
+	_, conn := localVehicles(t, 2000, 500, hiddendb.CountNone)
+	ctx := context.Background()
+	s, err := New(ctx, conn, Config{Seed: 4, UseHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1, err := s.DrawWeighted(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := s.DrawWeighted(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalSaved, _ := s.HistoryStats()
+	if st1.QueriesSaved+st2.QueriesSaved != totalSaved {
+		t.Fatalf("per-call savings %d + %d must sum to the cache total %d",
+			st1.QueriesSaved, st2.QueriesSaved, totalSaved)
+	}
+	if st2.QueriesSaved == 0 {
+		t.Fatal("second weighted draw repeats hot paths and should save queries")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Acceptor decides candidates' fates in the Sample Processor stage. A nil
@@ -23,6 +24,9 @@ var _ Acceptor = (*Rejector)(nil)
 // stream's selection probabilities well-defined: adapting C while
 // accepting would entangle earlier candidates' fates with later
 // observations.
+//
+// An AdaptiveRejector is safe for concurrent use; Quantile and Warmup
+// must not be mutated after construction.
 type AdaptiveRejector struct {
 	// Quantile in (0,1]: the fraction of the reach distribution to accept
 	// outright; lower values reject more and flatten harder.
@@ -31,6 +35,7 @@ type AdaptiveRejector struct {
 	// defaults to 100 when <= 0 at first use.
 	Warmup int
 
+	mu       sync.Mutex // guards rng, observed and the frozen transition
 	rng      *rand.Rand
 	observed []float64
 	frozen   *Rejector
@@ -54,6 +59,8 @@ func NewAdaptiveRejector(quantile float64, warmup int, seed int64) *AdaptiveReje
 
 // C returns the frozen target reach, or 0 while still calibrating.
 func (r *AdaptiveRejector) C() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.frozen == nil {
 		return 0
 	}
@@ -61,15 +68,20 @@ func (r *AdaptiveRejector) C() float64 {
 }
 
 // Calibrating reports whether the warmup phase is still running.
-func (r *AdaptiveRejector) Calibrating() bool { return r.frozen == nil }
+func (r *AdaptiveRejector) Calibrating() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frozen == nil
+}
 
 // Accept implements Acceptor. Warmup candidates are rejected (they only
 // feed calibration); afterwards acceptance is min(1, C/reach) with the
-// frozen C.
+// frozen C. Safe to call from multiple goroutines sharing one acceptor.
 func (r *AdaptiveRejector) Accept(c *Candidate) bool {
 	if r == nil {
 		return true
 	}
+	r.mu.Lock()
 	if r.frozen == nil {
 		r.observed = append(r.observed, c.Reach)
 		if len(r.observed) >= r.Warmup {
@@ -81,15 +93,24 @@ func (r *AdaptiveRejector) Accept(c *Candidate) bool {
 			r.frozen = NewRejector(r.observed[idx], r.rng.Int63())
 			r.observed = nil
 		}
+		r.mu.Unlock()
 		return false
 	}
-	return r.frozen.Accept(c)
+	frozen := r.frozen
+	r.mu.Unlock()
+	return frozen.Accept(c)
 }
 
 // Counts returns post-warmup acceptance counters.
 func (r *AdaptiveRejector) Counts() (accepted, rejected int64) {
-	if r == nil || r.frozen == nil {
+	if r == nil {
 		return 0, 0
 	}
-	return r.frozen.Counts()
+	r.mu.Lock()
+	frozen := r.frozen
+	r.mu.Unlock()
+	if frozen == nil {
+		return 0, 0
+	}
+	return frozen.Counts()
 }

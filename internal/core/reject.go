@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"hdsampler/internal/hiddendb"
 )
@@ -19,13 +21,19 @@ import (
 //
 // The demo exposes this choice as a slider (§3.1); SliderC maps the slider
 // position onto C.
+//
+// A Rejector is safe for concurrent use: replica pools and shared
+// pipelines may call Accept from many goroutines. C must not be mutated
+// after construction.
 type Rejector struct {
-	// C is the target reach probability.
-	C   float64
+	// C is the target reach probability; treat as immutable once built.
+	C float64
+
+	mu  sync.Mutex // guards rng (math/rand.Rand is not concurrency-safe)
 	rng *rand.Rand
 
-	accepted int64
-	rejected int64
+	accepted atomic.Int64
+	rejected atomic.Int64
 }
 
 // NewRejector builds a processor with the given target reach probability.
@@ -47,17 +55,23 @@ func (r *Rejector) AcceptProb(reach float64) float64 {
 }
 
 // Accept decides one candidate's fate. A nil Rejector accepts everything
-// (the brute-force path, whose candidates are already uniform).
+// (the brute-force path, whose candidates are already uniform). Safe to
+// call from multiple goroutines sharing one acceptor.
 func (r *Rejector) Accept(c *Candidate) bool {
 	if r == nil {
 		return true
 	}
 	p := r.AcceptProb(c.Reach)
-	ok := p >= 1 || r.rng.Float64() < p
+	ok := p >= 1
+	if !ok {
+		r.mu.Lock()
+		ok = r.rng.Float64() < p
+		r.mu.Unlock()
+	}
 	if ok {
-		r.accepted++
+		r.accepted.Add(1)
 	} else {
-		r.rejected++
+		r.rejected.Add(1)
 	}
 	return ok
 }
@@ -67,7 +81,7 @@ func (r *Rejector) Counts() (accepted, rejected int64) {
 	if r == nil {
 		return 0, 0
 	}
-	return r.accepted, r.rejected
+	return r.accepted.Load(), r.rejected.Load()
 }
 
 // SliderC maps the demo's efficiency↔skew slider position s ∈ [0,1] onto a

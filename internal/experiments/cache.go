@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/history"
+)
+
+// CacheConcurrency profiles the shared history cache the way the daemon
+// uses it: many workers replaying a warm working set through one cache,
+// plus deep-query ancestor inference. The sharded/indexed redesign is
+// what makes these numbers flat in the worker count; the table records
+// the trajectory per PR via hdbench -json.
+func CacheConcurrency(sc Scale) (*Table, error) {
+	n := sc.pick(5000, 20000)
+	opsPerWorker := sc.pick(2000, 10000)
+	deepOps := sc.pick(500, 4000)
+
+	ds := datagen.Vehicles(n, 17)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 1000})
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	cache := history.New(formclient.NewLocal(db), history.Options{})
+
+	// Warm a hot working set: the (make, condition) slices replicas
+	// re-request constantly.
+	var queries []hiddendb.Query
+	for mk := 0; mk < 8; mk++ {
+		for cond := 0; cond < 2; cond++ {
+			q := hiddendb.MustQuery(
+				hiddendb.Predicate{Attr: datagen.VehAttrMake, Value: mk},
+				hiddendb.Predicate{Attr: datagen.VehAttrCondition, Value: cond})
+			if _, err := cache.Execute(ctx, q); err != nil {
+				return nil, err
+			}
+			queries = append(queries, q)
+		}
+	}
+
+	t := &Table{
+		ID:      "cache",
+		Title:   "shared history cache under concurrency (sharded + ancestor index)",
+		Header:  []string{"workload", "goroutines", "ops", "elapsed", "ops/sec"},
+		Metrics: map[string]float64{},
+	}
+	for _, workers := range []int{1, 4, 8, 16} {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < opsPerWorker; i++ {
+					if _, err := cache.Execute(ctx, queries[(i+w)%len(queries)]); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errc)
+		if err := <-errc; err != nil {
+			return nil, fmt.Errorf("hot replay with %d workers: %w", workers, err)
+		}
+		elapsed := time.Since(start)
+		ops := workers * opsPerWorker
+		rate := float64(ops) / elapsed.Seconds()
+		t.Rows = append(t.Rows, []string{
+			"hot replay", fmt.Sprintf("%d", workers), fmt.Sprintf("%d", ops),
+			fmt.Sprintf("%.1fms", float64(elapsed.Microseconds())/1000), fmtF(rate),
+		})
+		t.Metrics[fmt.Sprintf("hits/sec@%d", workers)] = rate
+	}
+
+	// Deep inference: one complete root answers depth-12 descendants
+	// through the ancestor index (the old design probed 2^12 subsets per
+	// query under the global lock).
+	const attrs, depth = 24, 12
+	dsDeep := datagen.IIDBoolean(attrs, 50, 0.5, 23)
+	dbDeep, err := hiddendb.New(dsDeep.Schema, dsDeep.Tuples, nil, hiddendb.Config{K: 100})
+	if err != nil {
+		return nil, err
+	}
+	deep := history.New(formclient.NewLocal(dbDeep), history.Options{})
+	if _, err := deep.Execute(ctx, hiddendb.EmptyQuery()); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(29))
+	start := time.Now()
+	for i := 0; i < deepOps; i++ {
+		perm := rng.Perm(attrs)[:depth]
+		sort.Ints(perm)
+		q := hiddendb.EmptyQuery()
+		for _, a := range perm {
+			q = q.With(a, rng.Intn(2))
+		}
+		if _, err := deep.Execute(ctx, q); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	rate := float64(deepOps) / elapsed.Seconds()
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("deep inference d=%d", depth), "1", fmt.Sprintf("%d", deepOps),
+		fmt.Sprintf("%.1fms", float64(elapsed.Microseconds())/1000), fmtF(rate),
+	})
+	t.Metrics["deep-infer/sec"] = rate
+	if st := deep.CacheStats(); st.Inferred > 0 {
+		t.Metrics["deep-inferred"] = float64(st.Inferred)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("vehicles n=%d k=1000, %d-query hot set; deep workload: iid boolean m=%d, depth %d, one cached root", n, len(queries), attrs, depth),
+		fmt.Sprintf("GOMAXPROCS=%d — hot-replay scaling needs multiple CPUs to show", runtime.GOMAXPROCS(0)))
+	return t, nil
+}

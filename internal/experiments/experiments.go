@@ -115,6 +115,7 @@ func All() []Experiment {
 		{"crawl", "§1 — crawling vs sampling for one aggregate", CrawlVsSample},
 		{"weighted", "ext — Horvitz–Thompson weighting vs rejection", WeightedEstimation},
 		{"deployment", "ext — the fully realistic interface end to end", Deployment},
+		{"cache", "ext — shared history cache under concurrency", CacheConcurrency},
 	}
 }
 

@@ -9,7 +9,8 @@
 //  1. Exact repeat — the same canonical query was answered before.
 //  2. Valid ancestor — some ancestor query (a predicate subset) returned a
 //     complete (non-overflowing) answer; the current query's answer is that
-//     result filtered locally.
+//     result filtered locally, and the exact count is pinned to the number
+//     of surviving rows (a complete answer shows every match).
 //  3. Empty ancestor — some ancestor returned zero tuples; every
 //     specialization is empty.
 //  4. Sibling counts (only when counts are trusted/exact) — the count of
@@ -18,6 +19,25 @@
 //     empty, no query is needed. (A pinned positive count still needs a
 //     real query for its rows, so it is not fabricated.)
 //
+// The cache is safe for heavy concurrent use — the daemon shares one per
+// target host across every job's worker pool — and is built not to
+// serialize those workers:
+//
+//   - Entries live in hash shards, each guarded by its own RWMutex, so
+//     parallel exact-repeat hits (rule 1, the hottest path) proceed
+//     without contention. Entries are immutable once stored.
+//   - Ancestor lookup (rules 2–3) goes through a subset trie over the
+//     canonical predicate order instead of enumerating all 2^d predicate
+//     subsets: the walk visits only trie paths that are subsets of the
+//     query, so a deep query costs O(d·matches), not O(2^d) map probes.
+//   - Statistics are atomic counters, readable from any goroutine.
+//
+// When MaxEntries caps the cache, a per-shard CLOCK (second-chance)
+// policy evicts approximately-least-recently-used entries. Fully
+// specified overflow entries are pinned and never evicted: their rows are
+// the only window onto duplicate-heavy cells, and dropping them would
+// make those rows unreachable on replay (see storeRows in Execute).
+//
 // Cached and inferred overflow answers carry no tuple rows (the top-k rows
 // of an overflowing query are never used by the samplers, and storing k
 // rows per overflow would dominate memory).
@@ -25,7 +45,9 @@ package history
 
 import (
 	"context"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/hiddendb"
@@ -37,12 +59,20 @@ type Options struct {
 	// the interface reports exact counts; HDSampler's default against
 	// Google Base was to distrust its approximate estimates.
 	TrustCounts bool
-	// MaxEntries caps the number of cached queries; 0 means unlimited.
-	// When the cap is hit, a random ~10% of entries are evicted.
+	// MaxEntries caps the number of evictable cached queries; 0 means
+	// unlimited. When the cap is hit, CLOCK eviction reclaims the
+	// least-recently-touched entries one at a time. Pinned fully-specified
+	// overflow entries do not count against the cap.
 	MaxEntries int
 	// MaxInferDepth bounds the predicate count up to which ancestor
-	// enumeration (2^depth subset lookups) is attempted. Defaults to 12.
+	// inference is attempted. The subset trie makes deep inference cheap,
+	// so the default is 24 (it exists to bound pathological queries, not
+	// to protect an exponential scan as it once did).
 	MaxInferDepth int
+	// Shards is the number of entry-map shards (rounded up to a power of
+	// two, default 64). More shards admit more concurrent writers; reads
+	// already run concurrently within a shard.
+	Shards int
 }
 
 // Stats reports the cache's effect.
@@ -52,54 +82,108 @@ type Stats struct {
 	// ExactHits counts rule-1 answers, Inferred counts rules 2-4.
 	ExactHits int64
 	Inferred  int64
+	// Evictions counts entries reclaimed by the MaxEntries CLOCK policy.
+	Evictions int64
 }
 
 // Saved is the total number of interface queries avoided.
 func (s Stats) Saved() int64 { return s.ExactHits + s.Inferred }
 
+// ShardStat describes one shard's occupancy, for balance monitoring.
+type ShardStat struct {
+	// Entries is the shard's total entry count; Protected the subset
+	// pinned against eviction (fully-specified overflow answers).
+	Entries   int
+	Protected int
+}
+
 // Cache is a formclient.Conn decorator adding memoization and inference.
+// It is safe for concurrent use by any number of goroutines.
 type Cache struct {
 	inner formclient.Conn
 	opts  Options
 
-	mu      sync.Mutex
-	schema  *hiddendb.Schema
-	entries map[string]*entry
-	stats   Stats
+	schemaMu sync.Mutex // serializes the initial schema fetch
+	schema   atomic.Pointer[hiddendb.Schema]
+
+	seed   maphash.Seed
+	shards []shard
+	mask   uint64
+
+	idx ancestorIndex
+
+	issued    atomic.Int64
+	exactHits atomic.Int64
+	inferred  atomic.Int64
+	evictions atomic.Int64
+	evictable atomic.Int64 // entries currently eligible for eviction
+	evictHand atomic.Uint64
 }
 
 // entry stores one observed or derived answer. Overflow entries keep no
-// tuples. count is the interface-reported count (CountAbsent if none).
+// tuples unless pinned. All fields except the CLOCK reference bit and the
+// ring slot are immutable after the entry is published, which is what
+// lets readers use an entry after dropping the shard lock.
 type entry struct {
+	key      string
+	preds    []hiddendb.Predicate
 	overflow bool
-	count    int
-	tuples   []hiddendb.Tuple // nil for overflow entries
+	count    int              // interface-reported count (CountAbsent if none)
+	tuples   []hiddendb.Tuple // nil for row-less overflow entries
+
+	pinned  bool // fully-specified overflow: never evicted
+	indexed bool // complete answer: present in the ancestor trie
+
+	ref  atomic.Bool // CLOCK reference bit, set on every touch
+	slot int         // position in the shard's eviction ring; -1 when absent
 }
 
 // New wraps inner with a history cache.
 func New(inner formclient.Conn, opts Options) *Cache {
 	if opts.MaxInferDepth <= 0 {
-		opts.MaxInferDepth = 12
+		opts.MaxInferDepth = 24
 	}
-	return &Cache{inner: inner, opts: opts, entries: make(map[string]*entry)}
+	n := opts.Shards
+	if n <= 0 {
+		n = 64
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &Cache{
+		inner:  inner,
+		opts:   opts,
+		seed:   maphash.MakeSeed(),
+		shards: make([]shard, pow),
+		mask:   uint64(pow - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+	}
+	return c
+}
+
+// shardFor maps a canonical query key onto its shard.
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[maphash.String(c.seed, key)&c.mask]
 }
 
 // Schema implements formclient.Conn.
 func (c *Cache) Schema(ctx context.Context) (*hiddendb.Schema, error) {
-	c.mu.Lock()
-	if c.schema != nil {
-		s := c.schema
-		c.mu.Unlock()
+	if s := c.schema.Load(); s != nil {
 		return s, nil
 	}
-	c.mu.Unlock()
+	c.schemaMu.Lock()
+	defer c.schemaMu.Unlock()
+	if s := c.schema.Load(); s != nil {
+		return s, nil
+	}
 	s, err := c.inner.Schema(ctx)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.schema = s
-	c.mu.Unlock()
+	c.schema.Store(s)
 	return s, nil
 }
 
@@ -107,18 +191,51 @@ func (c *Cache) Schema(ctx context.Context) (*hiddendb.Schema, error) {
 // observing real query costs through the decorator).
 func (c *Cache) Stats() formclient.Stats { return c.inner.Stats() }
 
-// CacheStats returns hit/inference counters.
+// CacheStats returns hit/inference/eviction counters.
 func (c *Cache) CacheStats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Issued:    c.issued.Load(),
+		ExactHits: c.exactHits.Load(),
+		Inferred:  c.inferred.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		total += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// ShardStats snapshots per-shard occupancy, in shard order.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		out[i] = ShardStat{Entries: len(sh.entries), Protected: sh.protected}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// lookup returns the entry for a canonical key, touching its CLOCK bit.
+// The entry is immutable, so using it after the lock is dropped is safe.
+func (c *Cache) lookup(key string) *entry {
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		e.ref.Store(true)
+	}
+	return e
 }
 
 // Execute implements formclient.Conn.
@@ -129,21 +246,24 @@ func (c *Cache) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result
 	}
 	key := q.Key()
 
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.stats.ExactHits++
+	// Rule 1: exact repeat. Shared (read) lock only — parallel workers
+	// replaying hot queries never serialize here.
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	if e, ok := sh.entries[key]; ok {
 		res := e.result()
-		c.mu.Unlock()
+		sh.mu.RUnlock()
+		e.ref.Store(true)
+		c.exactHits.Add(1)
 		return res, nil
 	}
+	sh.mu.RUnlock()
+
 	if res := c.infer(schema, q); res != nil {
-		c.stats.Inferred++
-		c.storeLocked(key, res, !res.Overflow)
-		out := res.Clone()
-		c.mu.Unlock()
-		return out, nil
+		c.inferred.Add(1)
+		c.store(key, q, res, !res.Overflow)
+		return res, nil
 	}
-	c.mu.Unlock()
 
 	res, err := c.inner.Execute(ctx, q)
 	if err != nil {
@@ -153,10 +273,8 @@ func (c *Cache) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result
 	// window onto duplicate-heavy cells, and a row-less replay would make
 	// those rows unreachable on cache hits.
 	keepRows := !res.Overflow || q.Len() == schema.NumAttrs()
-	c.mu.Lock()
-	c.stats.Issued++
-	c.storeLocked(key, res, keepRows)
-	c.mu.Unlock()
+	c.issued.Add(1)
+	c.store(key, q, res, keepRows)
 	return res, nil
 }
 
@@ -170,76 +288,114 @@ func (e *entry) result() *hiddendb.Result {
 	return res
 }
 
-// storeLocked records an answer; the caller holds c.mu. keepRows controls
-// whether the visible rows are retained (always for complete answers,
-// never for intermediate overflow pages, and for fully-specified overflow
-// pages whose duplicates have no other access path).
-func (c *Cache) storeLocked(key string, res *hiddendb.Result, keepRows bool) {
-	e := &entry{overflow: res.Overflow, count: res.Count}
+// store publishes an answer: the entry joins its shard (and, when it is a
+// complete answer, the ancestor trie), then the MaxEntries cap is
+// enforced. keepRows controls whether the visible rows are retained
+// (always for complete answers, never for intermediate overflow pages,
+// and for fully-specified overflow pages whose duplicates have no other
+// access path — those are pinned against eviction).
+func (c *Cache) store(key string, q hiddendb.Query, res *hiddendb.Result, keepRows bool) {
+	e := &entry{
+		key:      key,
+		preds:    q.Preds(),
+		overflow: res.Overflow,
+		count:    res.Count,
+		pinned:   res.Overflow && keepRows,
+		indexed:  !res.Overflow,
+		slot:     -1,
+	}
 	if keepRows {
 		e.tuples = make([]hiddendb.Tuple, len(res.Tuples))
 		for i := range res.Tuples {
 			e.tuples[i] = res.Tuples[i].Clone()
 		}
 	}
-	if c.opts.MaxEntries > 0 && len(c.entries) >= c.opts.MaxEntries {
-		c.evictLocked()
+
+	// Map and trie must change together under the shard lock: with the
+	// trie updated outside it, two same-key stores can interleave so the
+	// losing entry's removal deletes the winner's trie terminal (or
+	// leaves a stale one). Lock order is always shard → trie; no path
+	// acquires a shard lock while holding the trie lock.
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	old := sh.entries[key]
+	sh.entries[key] = e
+	if old != nil {
+		if old.slot >= 0 {
+			sh.unlink(old)
+			c.evictable.Add(-1)
+		}
+		if old.pinned {
+			sh.protected--
+		}
 	}
-	c.entries[key] = e
+	if e.pinned {
+		sh.protected++
+	} else {
+		e.slot = len(sh.ring)
+		sh.ring = append(sh.ring, e)
+		c.evictable.Add(1)
+	}
+	if e.indexed {
+		c.idx.insert(e.preds, e)
+	}
+	if old != nil && old.indexed {
+		// No-op when the new entry already replaced it at the same trie
+		// node; removes a stale terminal when the answer flipped to
+		// overflow (interface drift).
+		c.idx.remove(old.preds, old)
+	}
+	sh.mu.Unlock()
+
+	c.enforceCap()
 }
 
-// evictLocked drops ~10% of entries (at least one) in map order, which is
-// effectively random.
-func (c *Cache) evictLocked() {
-	drop := len(c.entries)/10 + 1
-	for k := range c.entries {
-		delete(c.entries, k)
-		drop--
-		if drop == 0 {
-			break
+// enforceCap evicts CLOCK victims (round-robin across shards) until the
+// evictable population fits MaxEntries again. Pinned entries are skipped
+// by construction — they are never in an eviction ring.
+func (c *Cache) enforceCap() {
+	max := int64(c.opts.MaxEntries)
+	if max <= 0 {
+		return
+	}
+	for c.evictable.Load() > max {
+		start := int(c.evictHand.Add(1))
+		var victim *entry
+		for i := 0; i < len(c.shards) && victim == nil; i++ {
+			victim = c.shards[(start+i)&int(c.mask)].evictOne()
+		}
+		if victim == nil {
+			return // nothing evictable anywhere
+		}
+		c.evictable.Add(-1)
+		c.evictions.Add(1)
+		if victim.indexed {
+			c.idx.remove(victim.preds, victim)
 		}
 	}
 }
 
-// infer attempts rules 2-4; the caller holds c.mu. Returns nil when the
-// answer cannot be derived.
+// infer attempts rules 2-4 without holding any shard lock. Returns nil
+// when the answer cannot be derived.
 func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Result {
 	preds := q.Preds()
 	d := len(preds)
 	if d == 0 || d > c.opts.MaxInferDepth {
 		return nil
 	}
-	// Enumerate proper ancestors: all strict predicate subsets. Mask bit i
-	// keeps preds[i]. Iterate from largest subsets down so the tightest
-	// ancestor is found first (fewer tuples to filter).
-	nSub := 1 << d
-	masks := make([]int, 0, nSub-1)
-	for mask := 0; mask < nSub-1; mask++ {
-		masks = append(masks, mask)
-	}
-	// Order by descending popcount.
-	sortByPopcountDesc(masks)
-	for _, mask := range masks {
-		sub := hiddendb.EmptyQuery()
-		for i := 0; i < d; i++ {
-			if mask&(1<<i) != 0 {
-				sub = sub.With(preds[i].Attr, preds[i].Value)
+	// Rules 2/3: find the deepest complete ancestor in the subset trie
+	// (deepest = fewest tuples to filter) and filter its rows locally.
+	if anc := c.idx.bestAncestor(preds); anc != nil {
+		anc.ref.Store(true)
+		res := &hiddendb.Result{}
+		for i := range anc.tuples {
+			if q.Matches(anc.tuples[i].Vals) {
+				res.Tuples = append(res.Tuples, anc.tuples[i].Clone())
 			}
 		}
-		e, ok := c.entries[sub.Key()]
-		if !ok || e.overflow {
-			continue
-		}
-		// Rule 2/3: complete ancestor answer; filter locally.
-		res := &hiddendb.Result{Count: hiddendb.CountAbsent}
-		for i := range e.tuples {
-			if q.Matches(e.tuples[i].Vals) {
-				res.Tuples = append(res.Tuples, e.tuples[i].Clone())
-			}
-		}
-		if e.count != hiddendb.CountAbsent {
-			res.Count = len(res.Tuples)
-		}
+		// A complete ancestor shows every match, so filtering pins the
+		// exact count whether or not the interface reported one.
+		res.Count = len(res.Tuples)
 		return res
 	}
 	if c.opts.TrustCounts {
@@ -259,18 +415,18 @@ func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Resul
 func (c *Cache) inferFromSiblingCounts(schema *hiddendb.Schema, q hiddendb.Query, preds []hiddendb.Predicate) *hiddendb.Result {
 	for _, p := range preds {
 		parent := q.Without(p.Attr)
-		pe, ok := c.entries[parent.Key()]
-		if !ok || pe.count == hiddendb.CountAbsent {
+		pe := c.lookup(parent.Key())
+		if pe == nil || pe.count == hiddendb.CountAbsent {
 			continue
 		}
 		remaining := pe.count
 		complete := true
-		for v := 0; v < schema.DomainSize(p.Attr) && complete; v++ {
+		for v := 0; v < schema.DomainSize(p.Attr); v++ {
 			if v == p.Value {
 				continue
 			}
-			se, ok := c.entries[parent.With(p.Attr, v).Key()]
-			if !ok || se.count == hiddendb.CountAbsent {
+			se := c.lookup(parent.With(p.Attr, v).Key())
+			if se == nil || se.count == hiddendb.CountAbsent {
 				complete = false
 				break
 			}
@@ -287,30 +443,6 @@ func (c *Cache) inferFromSiblingCounts(schema *hiddendb.Schema, q hiddendb.Query
 		// we do not know k here, so only the empty case is safe.
 	}
 	return nil
-}
-
-// sortByPopcountDesc orders subset masks so larger subsets come first.
-func sortByPopcountDesc(masks []int) {
-	pc := func(x int) int {
-		n := 0
-		for ; x != 0; x &= x - 1 {
-			n++
-		}
-		return n
-	}
-	// Counting sort by popcount (masks are small).
-	buckets := make([][]int, 32)
-	for _, m := range masks {
-		p := pc(m)
-		buckets[p] = append(buckets[p], m)
-	}
-	i := 0
-	for p := len(buckets) - 1; p >= 0; p-- {
-		for _, m := range buckets[p] {
-			masks[i] = m
-			i++
-		}
-	}
 }
 
 var _ formclient.Conn = (*Cache)(nil)

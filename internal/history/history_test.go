@@ -317,6 +317,159 @@ func TestCacheEquivalenceProperty(t *testing.T) {
 	}
 }
 
+// A complete (non-overflow) ancestor answer shows every match, so the
+// inferred child's count is exact even when the interface reports no
+// counts at all — regression for the rule-2/3 count bug that only set
+// Count when the ancestor carried an interface count.
+func TestInferredCountPinnedWithoutInterfaceCounts(t *testing.T) {
+	ds := datagen.IIDBoolean(6, 60, 0.5, 2)
+	db, local, cache := newCachedConn(t, ds, 100, hiddendb.CountNone, Options{})
+	ctx := context.Background()
+	parent := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 0})
+	if r, err := cache.Execute(ctx, parent); err != nil || r.Overflow {
+		t.Fatalf("setup: want complete parent, got %+v %v", r, err)
+	}
+	child := parent.With(1, 1).With(2, 0)
+	got, err := cache.Execute(ctx, child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Execute(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count == hiddendb.CountAbsent {
+		t.Fatal("inferred answer from a complete ancestor must pin the exact count")
+	}
+	if got.Count != len(want.Tuples) {
+		t.Fatalf("inferred count = %d, want %d", got.Count, len(want.Tuples))
+	}
+	if local.Stats().Queries != 1 {
+		t.Fatalf("inner queries = %d, want 1", local.Stats().Queries)
+	}
+}
+
+// Fully-specified overflow entries are the only window onto
+// duplicate-heavy cells; eviction must never reclaim them.
+func TestEvictionNeverDropsPinnedOverflow(t *testing.T) {
+	// One cell holds 10 duplicates with K = 3: its fully-specified query
+	// overflows and keeps its rows (pinned).
+	s := hiddendb.MustSchema("s", hiddendb.BoolAttr("a"), hiddendb.BoolAttr("b"))
+	var tuples []hiddendb.Tuple
+	for i := 0; i < 10; i++ {
+		tuples = append(tuples, hiddendb.Tuple{Vals: []int{1, 1}})
+	}
+	db, err := hiddendb.New(s, tuples, nil, hiddendb.Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := formclient.NewLocal(db)
+	cache := New(local, Options{MaxEntries: 2, Shards: 1})
+	ctx := context.Background()
+	hot := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 1}, hiddendb.Predicate{Attr: 1, Value: 1})
+	r, err := cache.Execute(ctx, hot)
+	if err != nil || !r.Overflow || len(r.Tuples) == 0 {
+		t.Fatalf("setup: want pinned full-overflow answer with rows, got %+v %v", r, err)
+	}
+	// Churn far past the cap so every evictable entry turns over.
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			if a == 1 && b == 1 {
+				continue
+			}
+			q := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: a}, hiddendb.Predicate{Attr: 1, Value: b})
+			if _, err := cache.Execute(ctx, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := local.Stats().Queries
+	r2, err := cache.Execute(ctx, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Stats().Queries != before {
+		t.Fatal("pinned fully-specified overflow entry was evicted")
+	}
+	if !r2.Overflow || len(r2.Tuples) != len(r.Tuples) {
+		t.Fatalf("pinned replay lost rows: %+v", r2)
+	}
+}
+
+// Deep queries must infer through the ancestor index without an
+// exponential subset scan; this guards the query-count contract (a single
+// issued root answers every descendant).
+func TestDeepInferenceThroughIndex(t *testing.T) {
+	ds := datagen.IIDBoolean(16, 40, 0.5, 9)
+	_, local, cache := newCachedConn(t, ds, 100, hiddendb.CountNone, Options{})
+	ctx := context.Background()
+	if _, err := cache.Execute(ctx, hiddendb.EmptyQuery()); err != nil {
+		t.Fatal(err)
+	}
+	q := hiddendb.EmptyQuery()
+	for a := 0; a < 16; a++ {
+		q = q.With(a, a%2)
+	}
+	if _, err := cache.Execute(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := local.Stats().Queries; got != 1 {
+		t.Fatalf("inner queries = %d, want 1 (root only; depth-16 child inferred)", got)
+	}
+	if st := cache.CacheStats(); st.Inferred != 1 {
+		t.Fatalf("stats = %+v, want 1 inference", st)
+	}
+}
+
+// Restore round-trips a dump into a fresh cache: replayed queries are
+// answered without touching the connector.
+func TestDumpRestoreWarmStart(t *testing.T) {
+	ds := datagen.IIDBoolean(5, 40, 0.5, 3)
+	db, _, cache := newCachedConn(t, ds, 100, hiddendb.CountExact, Options{})
+	ctx := context.Background()
+	queries := []hiddendb.Query{
+		hiddendb.EmptyQuery(),
+		hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 0}),
+		hiddendb.MustQuery(hiddendb.Predicate{Attr: 1, Value: 1}, hiddendb.Predicate{Attr: 2, Value: 0}),
+	}
+	for _, q := range queries {
+		if _, err := cache.Execute(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := cache.Dump()
+	if len(snap.Entries) != cache.Len() {
+		t.Fatalf("dump holds %d entries, cache %d", len(snap.Entries), cache.Len())
+	}
+
+	local2 := formclient.NewLocal(db)
+	warm := New(local2, Options{})
+	n, err := warm.Restore(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(snap.Entries) {
+		t.Fatalf("restored %d of %d entries", n, len(snap.Entries))
+	}
+	for _, q := range queries {
+		got, err := warm.Execute(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Overflow != want.Overflow || len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("warm replay of %v differs: %+v vs %+v", q, got, want)
+		}
+	}
+	// The schema fetch is the only traffic the warm cache may generate.
+	if got := local2.Stats().Queries; got != 0 {
+		t.Fatalf("warm cache issued %d queries, want 0", got)
+	}
+}
+
 func TestCacheReturnsClones(t *testing.T) {
 	ds := datagen.IIDBoolean(4, 20, 0.5, 7)
 	_, _, cache := newCachedConn(t, ds, 50, hiddendb.CountNone, Options{})

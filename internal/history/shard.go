@@ -1,0 +1,67 @@
+package history
+
+import "sync"
+
+// shard is one hash partition of the entry map plus its CLOCK eviction
+// ring. The ring holds only evictable entries; pinned entries live in the
+// map alone and can never become victims.
+type shard struct {
+	mu        sync.RWMutex
+	entries   map[string]*entry
+	ring      []*entry // CLOCK ring over evictable entries
+	hand      int      // next ring position the clock hand inspects
+	protected int      // pinned entries resident in this shard
+}
+
+// unlink removes an entry from the eviction ring (swap-with-last); the
+// caller holds sh.mu.
+func (sh *shard) unlink(e *entry) {
+	last := len(sh.ring) - 1
+	moved := sh.ring[last]
+	sh.ring[e.slot] = moved
+	moved.slot = e.slot
+	sh.ring[last] = nil
+	sh.ring = sh.ring[:last]
+	e.slot = -1
+}
+
+// evictOne runs the CLOCK hand over the ring: recently-touched entries
+// get their reference bit cleared and a second chance; the first entry
+// found with a clear bit is evicted. Returns nil when the shard has no
+// evictable entries.
+func (sh *shard) evictOne() *entry {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := len(sh.ring)
+	if n == 0 {
+		return nil
+	}
+	// Two laps suffice when the bits are quiescent: the first lap clears
+	// every bit the hand passes. Concurrent touches can keep re-setting
+	// bits, so fall back to evicting at the hand rather than spinning.
+	for i := 0; i < 2*n; i++ {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		e := sh.ring[sh.hand]
+		if e.ref.CompareAndSwap(true, false) {
+			sh.hand++
+			continue
+		}
+		sh.remove(e)
+		return e
+	}
+	if sh.hand >= len(sh.ring) {
+		sh.hand = 0
+	}
+	e := sh.ring[sh.hand]
+	sh.remove(e)
+	return e
+}
+
+// remove deletes an evictable entry from both the ring and the map; the
+// caller holds sh.mu.
+func (sh *shard) remove(e *entry) {
+	sh.unlink(e)
+	delete(sh.entries, e.key)
+}

@@ -1,0 +1,69 @@
+package history
+
+import (
+	"context"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// Snapshot is a point-in-time dump of a cache's entries — the portable
+// form internal/store serializes so a daemon restart can warm-start the
+// per-host caches instead of re-paying their query bills.
+type Snapshot struct {
+	Entries []SnapshotEntry
+}
+
+// SnapshotEntry is one cached answer in portable form. The canonical key
+// is re-parsed against the live schema on restore, so snapshots survive
+// restarts but are dropped entry-by-entry on schema drift.
+type SnapshotEntry struct {
+	Key      string
+	Overflow bool
+	Count    int
+	Tuples   []hiddendb.Tuple
+}
+
+// Dump snapshots every cached entry. Tuples are deep-copied, so the
+// snapshot stays valid however the cache evolves afterwards.
+func (c *Cache) Dump() *Snapshot {
+	snap := &Snapshot{}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			se := SnapshotEntry{Key: e.key, Overflow: e.overflow, Count: e.count}
+			if len(e.tuples) > 0 {
+				se.Tuples = make([]hiddendb.Tuple, len(e.tuples))
+				for j := range e.tuples {
+					se.Tuples[j] = e.tuples[j].Clone()
+				}
+			}
+			snap.Entries = append(snap.Entries, se)
+		}
+		sh.mu.RUnlock()
+	}
+	return snap
+}
+
+// Restore warm-starts the cache from a snapshot, returning how many
+// entries were adopted. Entries whose keys no longer parse against the
+// connector's current schema are skipped (the target may have changed);
+// hit/eviction counters are untouched, and MaxEntries still applies.
+func (c *Cache) Restore(ctx context.Context, snap *Snapshot) (int, error) {
+	schema, err := c.Schema(ctx)
+	if err != nil {
+		return 0, err
+	}
+	adopted := 0
+	for _, se := range snap.Entries {
+		q, err := hiddendb.ParseQueryKey(schema, se.Key)
+		if err != nil {
+			continue
+		}
+		res := &hiddendb.Result{Overflow: se.Overflow, Count: se.Count, Tuples: se.Tuples}
+		keepRows := !se.Overflow || len(se.Tuples) > 0
+		c.store(se.Key, q, res, keepRows)
+		adopted++
+	}
+	return adopted, nil
+}

@@ -1,0 +1,106 @@
+package history
+
+import (
+	"sync"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// ancestorIndex is a subset trie over complete (non-overflow) cached
+// answers, keyed by predicates in canonical (attribute-sorted) order. An
+// ancestor of query q is any cached query whose predicate set is a proper
+// subset of q's; because both are sorted, an ancestor's predicate
+// sequence is a subsequence of q's, so the trie walk only descends edges
+// labeled with q's own predicates. Lookup work is therefore proportional
+// to the subset-paths actually present — O(d·matches) — where the old
+// implementation probed all 2^d subsets of q unconditionally.
+//
+// Writes (one per real issued query) take the exclusive lock; lookups
+// share the read lock, so concurrent workers infer in parallel.
+type ancestorIndex struct {
+	mu   sync.RWMutex
+	root trieNode
+}
+
+// trieNode is one prefix of a canonical predicate sequence. e is non-nil
+// when a complete cached answer terminates here.
+type trieNode struct {
+	children map[hiddendb.Predicate]*trieNode
+	e        *entry
+}
+
+// insert registers a complete answer under its predicate sequence,
+// replacing any previous entry for the same query.
+func (ix *ancestorIndex) insert(preds []hiddendb.Predicate, e *entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := &ix.root
+	for _, p := range preds {
+		child, ok := n.children[p]
+		if !ok {
+			if n.children == nil {
+				n.children = make(map[hiddendb.Predicate]*trieNode)
+			}
+			child = &trieNode{}
+			n.children[p] = child
+		}
+		n = child
+	}
+	n.e = e
+}
+
+// remove clears the terminal for preds if it still holds exactly e (a
+// replacement may have installed a newer entry) and prunes now-empty
+// nodes on the way back up.
+func (ix *ancestorIndex) remove(preds []hiddendb.Predicate, e *entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	path := make([]*trieNode, 1, len(preds)+1)
+	path[0] = &ix.root
+	n := &ix.root
+	for _, p := range preds {
+		child := n.children[p]
+		if child == nil {
+			return
+		}
+		n = child
+		path = append(path, n)
+	}
+	if n.e != e {
+		return
+	}
+	n.e = nil
+	for i := len(path) - 1; i >= 1; i-- {
+		nd := path[i]
+		if nd.e != nil || len(nd.children) > 0 {
+			break
+		}
+		delete(path[i-1].children, preds[i-1])
+	}
+}
+
+// bestAncestor returns the deepest complete cached answer whose predicate
+// set is a proper subset of preds (the query itself is excluded), or nil.
+// Deeper ancestors are preferred because they leave fewer rows to filter.
+func (ix *ancestorIndex) bestAncestor(preds []hiddendb.Predicate) *entry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var best *entry
+	bestDepth := -1
+	var walk func(n *trieNode, from, depth int)
+	walk = func(n *trieNode, from, depth int) {
+		if n.e != nil && depth < len(preds) && depth > bestDepth {
+			best, bestDepth = n.e, depth
+		}
+		if len(n.children) == 0 {
+			return
+		}
+		for j := from; j < len(preds); j++ {
+			if child, ok := n.children[preds[j]]; ok {
+				walk(child, j+1, depth+1)
+			}
+		}
+	}
+	walk(&ix.root, 0, 0)
+	return best
+}

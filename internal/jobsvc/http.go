@@ -129,6 +129,26 @@ func writeMetrics(w http.ResponseWriter, m *Manager) {
 	for _, h := range hosts {
 		fmt.Fprintf(w, "hdsamplerd_host_cache_saved_total{host=%q} %d\n", h.Host, h.Saved())
 	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_entries Resident entries in each host's shared history caches.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_entries gauge")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_cache_entries{host=%q} %d\n", h.Host, h.Entries)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_protected_entries Pinned fully-specified overflow entries (never evicted).")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_protected_entries gauge")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_cache_protected_entries{host=%q} %d\n", h.Host, h.Protected)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_evictions_total Entries reclaimed by each host cache's CLOCK eviction.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_evictions_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_cache_evictions_total{host=%q} %d\n", h.Host, h.Evictions)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_shard_balance_cv Coefficient of variation of per-shard entry counts (0 = perfectly balanced).")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_shard_balance_cv gauge")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_cache_shard_balance_cv{host=%q} %g\n", h.Host, h.ShardBalance.CV)
+	}
 	fmt.Fprintln(w, "# HELP hdsamplerd_host_throttled_total Queries delayed by the per-host politeness budget.")
 	fmt.Fprintln(w, "# TYPE hdsamplerd_host_throttled_total counter")
 	for _, h := range hosts {

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"hdsampler/internal/core"
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/history"
+	"hdsampler/internal/metrics"
 	"hdsampler/internal/store"
 )
 
@@ -37,6 +40,11 @@ type Config struct {
 	// CacheMaxEntries caps each shared per-host history cache
 	// (0 = unlimited).
 	CacheMaxEntries int
+	// HistoryDir, when set, checkpoints each shared per-host history
+	// cache there on shutdown and warm-starts new caches from matching
+	// checkpoints, so a restarted daemon does not re-pay query bills the
+	// previous run already paid. Empty disables history persistence.
+	HistoryDir string
 	// Client overrides the HTTP client used for target connectors
 	// (timeouts, proxies, test servers).
 	Client *http.Client
@@ -71,6 +79,7 @@ type hostEntry struct {
 // raw formclient conn wrapped in the host's throttle. Caches are split by
 // TrustCounts because trusted and untrusted inference disagree.
 type target struct {
+	key    string // connector + "|" + URL, the checkpoint identity
 	conn   formclient.Conn
 	caches map[bool]*history.Cache
 }
@@ -171,7 +180,8 @@ func (m *Manager) hostLocked(host string) *hostEntry {
 
 // connFor assembles the job's connector stack: base conn (shared per
 // target URL) → per-host throttle → shared history cache (unless opted
-// out) → per-job query budget.
+// out) → per-job query budget. A cache created here is warm-started from
+// its HistoryDir checkpoint, when one exists.
 func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.Cache) {
 	key := spec.Connector + "|" + spec.URL
 
@@ -188,28 +198,124 @@ func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.C
 		if he.limiter != nil {
 			base = &throttleConn{inner: base, lim: he.limiter}
 		}
-		tg = &target{conn: base, caches: make(map[bool]*history.Cache)}
+		tg = &target{key: key, conn: base, caches: make(map[bool]*history.Cache)}
 		he.targets[key] = tg
 	}
 	var conn formclient.Conn = tg.conn
-	var cache *history.Cache
+	cache, haveCache := tg.caches[spec.TrustCounts]
+	he.mu.Unlock()
+
 	if !spec.NoHistory {
-		cache, ok = tg.caches[spec.TrustCounts]
-		if !ok {
-			cache = history.New(tg.conn, history.Options{
+		if !haveCache {
+			// Build — and, when configured, warm-start — the cache before
+			// publishing it, so no job ever draws through a half-restored
+			// cache and no stale checkpoint entry can overwrite an answer
+			// a live job just paid for.
+			fresh := history.New(tg.conn, history.Options{
 				TrustCounts: spec.TrustCounts,
 				MaxEntries:  cfg.CacheMaxEntries,
 			})
-			tg.caches[spec.TrustCounts] = cache
+			if cfg.HistoryDir != "" {
+				warmStartCache(cfg.HistoryDir, historySource(key, spec.TrustCounts), fresh)
+			}
+			he.mu.Lock()
+			if racer, ok := tg.caches[spec.TrustCounts]; ok {
+				cache = racer // a concurrent submit won; ours is discarded
+			} else {
+				tg.caches[spec.TrustCounts] = fresh
+				cache = fresh
+			}
+			he.mu.Unlock()
 		}
 		conn = cache
+	} else {
+		cache = nil
 	}
-	he.mu.Unlock()
 
 	if spec.MaxQueries > 0 && spec.Method != MethodCrawl {
 		conn = &budgetConn{inner: conn, budget: spec.MaxQueries}
 	}
 	return conn, cache
+}
+
+// historySource names one cache identity for checkpointing: the target
+// key plus the trust mode (trusted and untrusted caches infer
+// differently and must not adopt each other's checkpoints).
+func historySource(targetKey string, trust bool) string {
+	return targetKey + "|trust=" + strconv.FormatBool(trust)
+}
+
+// historyDumpPath maps a cache identity onto its checkpoint file.
+func historyDumpPath(dir, source string) string {
+	h := fnv.New64a()
+	h.Write([]byte(source))
+	return filepath.Join(dir, fmt.Sprintf("history-%016x.json", h.Sum64()))
+}
+
+// warmStartCache best-effort restores a freshly created cache from its
+// checkpoint; failures only cost the warm start, never the job.
+func warmStartCache(dir, source string, cache *history.Cache) {
+	path := historyDumpPath(dir, source)
+	dump, err := store.LoadHistoryFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("jobsvc: history warm-start %s: %v", path, err)
+		}
+		return
+	}
+	if dump.Source != source {
+		log.Printf("jobsvc: history warm-start %s: checkpoint is for %q, want %q; skipping", path, dump.Source, source)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	n, err := cache.Restore(ctx, dump.Snapshot())
+	if err != nil {
+		log.Printf("jobsvc: history warm-start %s: %v", path, err)
+		return
+	}
+	log.Printf("jobsvc: warm-started history cache %s with %d entries", source, n)
+}
+
+// dumpHistory checkpoints every shared cache to HistoryDir.
+func (m *Manager) dumpHistory() {
+	if m.cfg.HistoryDir == "" {
+		return
+	}
+	if err := os.MkdirAll(m.cfg.HistoryDir, 0o755); err != nil {
+		log.Printf("jobsvc: history checkpoint dir: %v", err)
+		return
+	}
+	m.mu.Lock()
+	hes := make([]*hostEntry, 0, len(m.hosts))
+	for _, he := range m.hosts {
+		hes = append(hes, he)
+	}
+	m.mu.Unlock()
+	for _, he := range hes {
+		he.mu.Lock()
+		type dumpTask struct {
+			source string
+			cache  *history.Cache
+		}
+		var tasks []dumpTask
+		for _, tg := range he.targets {
+			for trust, c := range tg.caches {
+				tasks = append(tasks, dumpTask{historySource(tg.key, trust), c})
+			}
+		}
+		he.mu.Unlock()
+		for _, t := range tasks {
+			if t.cache.Len() == 0 {
+				continue
+			}
+			dump := store.NewHistoryDump(t.source, t.cache.Dump())
+			path := historyDumpPath(m.cfg.HistoryDir, t.source)
+			if err := store.SaveHistoryFile(path, dump); err != nil {
+				log.Printf("jobsvc: history checkpoint %s: %v", path, err)
+			}
+		}
+	}
 }
 
 // run executes one job to completion; it owns the job's state machine.
@@ -501,14 +607,20 @@ func (m *Manager) SampleSet(id string) (*store.SampleSet, error) {
 // HostStats aggregates one host's shared-infrastructure counters.
 type HostStats struct {
 	Host string `json:"host"`
-	// Issued / ExactHits / Inferred sum the host's history caches.
+	// Issued / ExactHits / Inferred / Evictions sum the host's history
+	// caches.
 	Issued    int64 `json:"issued"`
 	ExactHits int64 `json:"exact_hits"`
 	Inferred  int64 `json:"inferred"`
-	// Entries is the total cached query count, Throttled the queries the
-	// politeness limiter had to delay.
+	Evictions int64 `json:"evictions"`
+	// Entries is the total cached query count (Protected the pinned
+	// subset), Throttled the queries the politeness limiter had to delay.
 	Entries   int   `json:"entries"`
+	Protected int   `json:"protected"`
 	Throttled int64 `json:"throttled"`
+	// ShardBalance summarizes per-shard entry counts across the host's
+	// caches: CV 0 means the shards carry identical load.
+	ShardBalance metrics.Summary `json:"shard_balance"`
 }
 
 // Saved is the host's total query-history savings.
@@ -528,17 +640,28 @@ func (m *Manager) Hosts() []HostStats {
 		if he.limiter != nil {
 			hs.Throttled = he.limiter.waits.Load()
 		}
+		var shardLoads []float64
 		he.mu.Lock()
+		caches := make([]*history.Cache, 0, len(he.targets))
 		for _, tg := range he.targets {
 			for _, c := range tg.caches {
-				cs := c.CacheStats()
-				hs.Issued += cs.Issued
-				hs.ExactHits += cs.ExactHits
-				hs.Inferred += cs.Inferred
-				hs.Entries += c.Len()
+				caches = append(caches, c)
 			}
 		}
 		he.mu.Unlock()
+		for _, c := range caches {
+			cs := c.CacheStats()
+			hs.Issued += cs.Issued
+			hs.ExactHits += cs.ExactHits
+			hs.Inferred += cs.Inferred
+			hs.Evictions += cs.Evictions
+			for _, ss := range c.ShardStats() {
+				hs.Entries += ss.Entries
+				hs.Protected += ss.Protected
+				shardLoads = append(shardLoads, float64(ss.Entries))
+			}
+		}
+		hs.ShardBalance = metrics.Summarize(shardLoads)
 		out = append(out, hs)
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Host < out[k].Host })
@@ -571,8 +694,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		m.dumpHistory()
 		return nil
 	case <-ctx.Done():
+		// Checkpoint what we can even on an overrun drain; Dump is safe
+		// while stragglers still write.
+		m.dumpHistory()
 		return fmt.Errorf("jobsvc: shutdown: %w", ctx.Err())
 	}
 }

@@ -3,6 +3,7 @@ package jobsvc
 import (
 	"context"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -303,5 +304,48 @@ func TestPolitenessThrottleCounts(t *testing.T) {
 	}
 	if hosts[0].Throttled == 0 {
 		t.Fatal("politeness limiter never delayed a query at 300 q/s with burst 2")
+	}
+}
+
+func TestHistoryCheckpointAndWarmStart(t *testing.T) {
+	_, srv := newTarget(t, 2000, 500, hiddendb.CountNone)
+	histDir := t.TempDir()
+	cfg := Config{HistoryDir: histDir, Client: srv.Client()}
+
+	// First life: run a job, then shut down — the shared cache must be
+	// checkpointed to HistoryDir.
+	m1 := NewManager(cfg)
+	v, err := m1.Submit(Spec{URL: srv.URL, N: 30, Workers: 2, Slider: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m1, v.ID, 30*time.Second, func(v View) bool { return v.State == StateCompleted })
+	firstIssued := m1.Hosts()[0].Issued
+	if firstIssued == 0 {
+		t.Fatal("first run issued no queries")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(histDir, "history-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("checkpoint files = %v (err %v), want exactly one", files, err)
+	}
+
+	// Second life: a fresh manager warm-starts the cache during Submit,
+	// before the job draws anything.
+	m2 := newTestManager(t, srv, Config{HistoryDir: histDir})
+	v2, err := m2.Submit(Spec{URL: srv.URL, N: 30, Workers: 2, Slider: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs := m2.Hosts(); len(hs) != 1 || hs[0].Entries == 0 {
+		t.Fatalf("cache not warm-started at submit: %+v", hs)
+	}
+	waitJob(t, m2, v2.ID, 30*time.Second, func(v View) bool { return v.State == StateCompleted })
+	if hs := m2.Hosts(); hs[0].Saved() == 0 {
+		t.Fatalf("warm-started run saved nothing: %+v", hs[0])
 	}
 }

@@ -96,6 +96,35 @@ func CV(xs []float64) float64 {
 	return StdDev(xs) / m
 }
 
+// Summary is a compact descriptive summary of a sample — the shape the
+// daemon's /metrics endpoint reports for operational distributions such
+// as per-shard cache occupancy.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	// CV is the coefficient of variation (stddev/mean): 0 means perfectly
+	// balanced, larger means more skew.
+	CV float64
+}
+
+// Summarize computes a Summary; the zero Summary for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0], Mean: Mean(xs), CV: CV(xs)}
+	for _, x := range xs[1:] {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
 // ChiSquareStat returns Σ (obs−exp)²/exp over cells with positive expected
 // count; cells with exp <= 0 are skipped.
 func ChiSquareStat(obs []int, expected []float64) float64 {

@@ -192,3 +192,20 @@ func TestChiSquareUniformSamplesPass(t *testing.T) {
 		t.Errorf("uniform draws rejected: p = %g", p)
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{4, 1, 7, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 7 || s.Mean != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if want := StdDev([]float64{4, 1, 7, 4}) / 4; math.Abs(s.CV-want) > 1e-12 {
+		t.Fatalf("cv = %g, want %g", s.CV, want)
+	}
+	// A perfectly balanced load has zero CV — the shard-balance reading.
+	if s := Summarize([]float64{3, 3, 3}); s.CV != 0 {
+		t.Fatalf("balanced cv = %g, want 0", s.CV)
+	}
+}

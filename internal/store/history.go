@@ -1,0 +1,145 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/history"
+)
+
+// HistoryDump is the durable form of a query-history cache snapshot, so a
+// restarted daemon can warm-start its per-host caches instead of
+// re-paying their query bills. Source identifies which cache the dump
+// belongs to (host + connector + trust mode); loaders verify it before
+// adopting entries.
+type HistoryDump struct {
+	Source  string             `json:"source"`
+	SavedAt time.Time          `json:"saved_at"`
+	Entries []wireHistoryEntry `json:"entries"`
+}
+
+// wireHistoryEntry is one cached answer on the wire.
+type wireHistoryEntry struct {
+	Key      string      `json:"key"`
+	Overflow bool        `json:"overflow,omitempty"`
+	Count    int         `json:"count"`
+	Tuples   []wireTuple `json:"tuples,omitempty"`
+}
+
+// wireTuple carries a tuple without NaN (JSON cannot encode it): numeric
+// raw values are keyed by attribute index and absent entries decode back
+// to NaN.
+type wireTuple struct {
+	ID   int             `json:"id"`
+	Vals []int           `json:"vals"`
+	Nums map[int]float64 `json:"nums,omitempty"`
+}
+
+func encodeHistoryTuple(t *hiddendb.Tuple) wireTuple {
+	wt := wireTuple{ID: t.ID, Vals: t.Vals}
+	for i, v := range t.Nums {
+		if !math.IsNaN(v) {
+			if wt.Nums == nil {
+				wt.Nums = make(map[int]float64)
+			}
+			wt.Nums[i] = v
+		}
+	}
+	return wt
+}
+
+func decodeHistoryTuple(wt wireTuple) hiddendb.Tuple {
+	t := hiddendb.Tuple{ID: wt.ID, Vals: wt.Vals}
+	if len(wt.Nums) > 0 {
+		t.Nums = make([]float64, len(wt.Vals))
+		for i := range t.Nums {
+			t.Nums[i] = math.NaN()
+		}
+		for i, v := range wt.Nums {
+			if i >= 0 && i < len(t.Nums) {
+				t.Nums[i] = v
+			}
+		}
+	}
+	return t
+}
+
+// NewHistoryDump packages a cache snapshot for persistence.
+func NewHistoryDump(source string, snap *history.Snapshot) *HistoryDump {
+	dump := &HistoryDump{Source: source, SavedAt: time.Now().UTC()}
+	for _, se := range snap.Entries {
+		we := wireHistoryEntry{Key: se.Key, Overflow: se.Overflow, Count: se.Count}
+		for i := range se.Tuples {
+			we.Tuples = append(we.Tuples, encodeHistoryTuple(&se.Tuples[i]))
+		}
+		dump.Entries = append(dump.Entries, we)
+	}
+	return dump
+}
+
+// Snapshot reconstructs the cache-facing snapshot.
+func (d *HistoryDump) Snapshot() *history.Snapshot {
+	snap := &history.Snapshot{}
+	for _, we := range d.Entries {
+		se := history.SnapshotEntry{Key: we.Key, Overflow: we.Overflow, Count: we.Count}
+		for _, wt := range we.Tuples {
+			se.Tuples = append(se.Tuples, decodeHistoryTuple(wt))
+		}
+		snap.Entries = append(snap.Entries, se)
+	}
+	return snap
+}
+
+// WriteHistory serializes a dump as JSON.
+func WriteHistory(w io.Writer, dump *HistoryDump) error {
+	return json.NewEncoder(w).Encode(dump)
+}
+
+// ReadHistory deserializes a dump.
+func ReadHistory(r io.Reader) (*HistoryDump, error) {
+	var dump HistoryDump
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return nil, fmt.Errorf("store: decode history dump: %w", err)
+	}
+	return &dump, nil
+}
+
+// SaveHistoryFile writes a dump to path atomically (temp file + rename),
+// so a crash mid-write never destroys the previous good checkpoint.
+func SaveHistoryFile(path string, dump *HistoryDump) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := WriteHistory(f, dump); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadHistoryFile reads a dump from path.
+func LoadHistoryFile(path string) (*HistoryDump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadHistory(f)
+}

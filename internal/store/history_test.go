@@ -1,0 +1,74 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/history"
+)
+
+func sampleSnapshot() *history.Snapshot {
+	return &history.Snapshot{Entries: []history.SnapshotEntry{
+		{Key: "", Overflow: true, Count: 120}, // row-less overflow root
+		{Key: "0=1&2=0", Count: 2, Tuples: []hiddendb.Tuple{
+			{ID: 7, Vals: []int{1, 0, 0}, Nums: []float64{math.NaN(), 19999, math.NaN()}},
+			{ID: 9, Vals: []int{1, 1, 0}, Nums: []float64{math.NaN(), 4500, math.NaN()}},
+		}},
+		{Key: "1=1", Count: 0, Tuples: nil}, // empty complete answer
+	}}
+}
+
+func TestHistoryDumpRoundTrip(t *testing.T) {
+	dump := NewHistoryDump("html|http://x|trust=false", sampleSnapshot())
+	var buf bytes.Buffer
+	if err := WriteHistory(&buf, dump); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != dump.Source {
+		t.Fatalf("source %q, want %q", got.Source, dump.Source)
+	}
+	snap := got.Snapshot()
+	if len(snap.Entries) != 3 {
+		t.Fatalf("round-tripped %d entries, want 3", len(snap.Entries))
+	}
+	e := snap.Entries[1]
+	if e.Key != "0=1&2=0" || e.Count != 2 || len(e.Tuples) != 2 {
+		t.Fatalf("entry mangled: %+v", e)
+	}
+	tu := e.Tuples[0]
+	if tu.ID != 7 || tu.Vals[0] != 1 {
+		t.Fatalf("tuple mangled: %+v", tu)
+	}
+	// NaN markers (JSON-unencodable) must survive as NaN, raw values as-is.
+	if v, ok := tu.Num(1); !ok || v != 19999 {
+		t.Fatalf("numeric value lost: %v %v", v, ok)
+	}
+	if _, ok := tu.Num(0); ok {
+		t.Fatal("absent numeric resurfaced as a value")
+	}
+	if !snap.Entries[0].Overflow || snap.Entries[0].Tuples != nil {
+		t.Fatalf("overflow entry mangled: %+v", snap.Entries[0])
+	}
+}
+
+func TestHistoryDumpFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	dump := NewHistoryDump("src", sampleSnapshot())
+	if err := SaveHistoryFile(path, dump); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHistoryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "src" || len(got.Entries) != 3 {
+		t.Fatalf("loaded %+v", got)
+	}
+}

@@ -22,7 +22,13 @@ import (
 // worker's answers save every other worker's queries. If the connector
 // passed in is itself a *history.Cache the set adopts it instead of
 // wrapping a new one — that is how a service shares one cache per target
-// host across many concurrent ReplicaSets.
+// host across many concurrent ReplicaSets. The cache is sharded
+// internally, so replicas read it without serializing on a global lock.
+//
+// Each replica owns its generator and its acceptance/rejection processor
+// (seeded per replica), so no replica shares mutable sampler state with
+// another; the acceptors themselves are also concurrency-safe, so even a
+// deliberately shared Acceptor would stay race-free.
 //
 // The combined sample is a fair mixture of independent samplers and keeps
 // the per-replica statistical guarantees.
@@ -73,6 +79,10 @@ func NewReplicaSet(ctx context.Context, conn Conn, cfg Config, workers int) (*Re
 
 // Workers returns the replica count.
 func (rs *ReplicaSet) Workers() int { return len(rs.samplers) }
+
+// Cache returns the history cache the replicas share (adopted or owned),
+// or nil when the set runs without history.
+func (rs *ReplicaSet) Cache() *history.Cache { return rs.cache }
 
 // Schema returns the target database's discovered schema.
 func (rs *ReplicaSet) Schema() *Schema { return rs.samplers[0].Schema() }

@@ -19,6 +19,10 @@ type WeightedSet = estimate.WeightedSet
 func (s *Sampler) DrawWeighted(ctx context.Context, n int) (*WeightedSet, Stats, error) {
 	ws := &WeightedSet{}
 	startQueries := s.gen.GenStats().Queries
+	var savedAt0 int64
+	if s.cache != nil {
+		savedAt0 = s.cache.CacheStats().Saved()
+	}
 	var st Stats
 	for len(ws.Samples) < n {
 		if err := ctx.Err(); err != nil {
@@ -35,7 +39,9 @@ func (s *Sampler) DrawWeighted(ctx context.Context, n int) (*WeightedSet, Stats,
 	}
 	st.Queries = s.gen.GenStats().Queries - startQueries
 	if s.cache != nil {
-		st.QueriesSaved = s.cache.CacheStats().Saved()
+		// Per-call delta, like Draw: consecutive calls must not
+		// double-report the cache's cumulative savings.
+		st.QueriesSaved = s.cache.CacheStats().Saved() - savedAt0
 	}
 	return ws, st, nil
 }

@@ -82,6 +82,10 @@ func main() {
 	cfg := hdsampler.Config{
 		Seed: *seed, Slider: *slider, C: *cFlag, K: *k, Attrs: attrs,
 		ShuffleOrder: *shuffle, UseHistory: *hist, TrustCounts: *trust,
+		// The flag always carries an explicit value (its default is 0.85),
+		// so -slider 0 means the documented lowest-skew walk, not the
+		// zero-value "fastest" fallback.
+		SliderSet: true,
 	}
 	switch strings.ToLower(*method) {
 	case "walk":

@@ -35,14 +35,17 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8099", "listen address")
-		dataDir   = flag.String("data", "", "checkpoint directory for finished sample sets (empty = no persistence)")
-		maxJobs   = flag.Int("max-jobs", 4, "max concurrently running jobs")
-		hostRate  = flag.Float64("host-rate", 0, "per-host politeness budget in queries/sec (0 = unlimited)")
-		hostBurst = flag.Int("host-burst", 10, "politeness token bucket capacity")
-		cacheCap  = flag.Int("cache-entries", 0, "max entries per shared host history cache (0 = unlimited)")
-		histDir   = flag.String("history-dir", "", "checkpoint directory for shared history caches: dumped on shutdown, warm-started on first use (empty = off)")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		addr         = flag.String("addr", ":8099", "listen address")
+		dataDir      = flag.String("data", "", "checkpoint directory for finished sample sets (empty = no persistence)")
+		maxJobs      = flag.Int("max-jobs", 4, "max concurrently running jobs")
+		hostRate     = flag.Float64("host-rate", 0, "per-host politeness budget in wire requests/sec (0 = unlimited)")
+		hostBurst    = flag.Int("host-burst", 10, "politeness token bucket capacity")
+		hostInFlight = flag.Int("host-inflight", 0, "per-host AIMD concurrency ceiling for wire requests (0 = unlimited)")
+		batchLinger  = flag.Duration("batch-linger", 0, "micro-batch linger window for API targets, e.g. 3ms (0 = no batching)")
+		batchMax     = flag.Int("batch-max", 16, "max queries per batch wire request")
+		cacheCap     = flag.Int("cache-entries", 0, "max entries per shared host history cache (0 = unlimited)")
+		histDir      = flag.String("history-dir", "", "checkpoint directory for shared history caches: dumped on shutdown, warm-started on first use (empty = off)")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
@@ -51,6 +54,9 @@ func main() {
 		MaxConcurrent:   *maxJobs,
 		HostRatePerSec:  *hostRate,
 		HostBurst:       *hostBurst,
+		HostMaxInFlight: *hostInFlight,
+		BatchLinger:     *batchLinger,
+		BatchMax:        *batchMax,
 		CacheMaxEntries: *cacheCap,
 		HistoryDir:      *histDir,
 	})

@@ -11,6 +11,7 @@ import (
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/hiddendb"
 	"hdsampler/internal/history"
+	"hdsampler/internal/queryexec"
 )
 
 // Re-exported types so callers need only this package for common use.
@@ -37,6 +38,9 @@ type (
 	Estimate = estimate.Estimate
 	// Marginal is a sampled attribute histogram.
 	Marginal = estimate.Marginal
+	// ExecStats counts the query-execution layer's coalescing and
+	// batching work.
+	ExecStats = queryexec.Stats
 )
 
 // Method selects the sampling algorithm.
@@ -68,6 +72,64 @@ func (m Method) String() string {
 	}
 }
 
+// ExecConfig tunes the query-execution layer (internal/queryexec):
+// single-flight coalescing of identical in-flight queries, micro-batching
+// of concurrent distinct queries, and AIMD-adaptive concurrency limiting
+// shared by every replica on the connector.
+type ExecConfig struct {
+	// Disable bypasses the execution layer entirely. The jobsvc daemon
+	// sets this on its ReplicaSets: its per-host connector stacks already
+	// contain a shared executor.
+	Disable bool
+	// BatchLinger, when positive, holds wire-bound queries up to this
+	// long so concurrent distinct queries can share one batch request
+	// (POST /api/search/batch, one rate-limit charge for the whole
+	// batch). Effective only on batch-capable connectors (DialAPI,
+	// LocalConn); HTML scraping falls back to sequential execution.
+	BatchLinger time.Duration
+	// MaxBatch bounds queries per batch request (default 16).
+	MaxBatch int
+	// MaxInFlight caps concurrent wire requests across all replicas: the
+	// AIMD ceiling, additively raised on clean responses and
+	// multiplicatively cut on 429 pushback. 0 disables concurrency
+	// limiting.
+	MaxInFlight int
+	// RatePerSec caps the replicas' aggregate wire request rate — unlike
+	// formclient's per-goroutine Politeness delay, which N replicas each
+	// apply independently (so a site sees N× the configured rate), this
+	// bounds the sum. 0 disables.
+	RatePerSec float64
+	// Burst is the rate cap's token bucket capacity (default 10).
+	Burst int
+}
+
+// limited reports whether any admission-control knob is set.
+func (e ExecConfig) limited() bool {
+	return e.MaxInFlight > 0 || e.RatePerSec > 0
+}
+
+// limiter builds the admission controller the knobs describe (nil when
+// none is set).
+func (e ExecConfig) limiter() *queryexec.Limiter {
+	if !e.limited() {
+		return nil
+	}
+	return queryexec.NewLimiter(queryexec.LimiterOptions{
+		MaxInFlight: e.MaxInFlight,
+		RatePerSec:  e.RatePerSec,
+		Burst:       e.Burst,
+	})
+}
+
+// options converts the knobs to the internal layer's options.
+func (e ExecConfig) options() queryexec.Options {
+	return queryexec.Options{
+		BatchLinger: e.BatchLinger,
+		MaxBatch:    e.MaxBatch,
+		Limiter:     e.limiter(),
+	}
+}
+
 // Config tunes a Sampler.
 type Config struct {
 	// Method selects the algorithm; default MethodRandomWalk.
@@ -76,8 +138,14 @@ type Config struct {
 	// are reproducible.
 	Seed int64
 	// Slider is the demo's efficiency↔skew knob in [0,1]: 0 = lowest skew
-	// (most rejections), 1 = fastest (accept everything). Default 1.
+	// (most rejections), 1 = fastest (accept everything). The zero-value
+	// Config defaults to 1 (fastest); set SliderSet to make an explicit
+	// Slider: 0 mean what the documentation says.
 	Slider float64
+	// SliderSet marks Slider as explicitly configured. Without it a
+	// Slider of 0 — the zero value — keeps the "fastest" default; with
+	// it, Slider: 0 selects the documented lowest-skew walk.
+	SliderSet bool
 	// C, when positive, sets the rejection target reach probability
 	// directly, overriding Slider.
 	C float64
@@ -104,6 +172,11 @@ type Config struct {
 	AdaptiveQuantile float64
 	// AdaptiveWarmup is the calibration candidate count (default 100).
 	AdaptiveWarmup int
+	// Exec tunes the query-execution layer. A single Sampler routes
+	// through it only when an admission knob is set (a lone generator
+	// goroutine has nothing to coalesce or batch); ReplicaSet and
+	// DrawParallel always route through it unless Disable is set.
+	Exec ExecConfig
 }
 
 // Stats summarizes a Draw call.
@@ -116,7 +189,12 @@ type Stats struct {
 	// QueriesSaved the number answered by the history cache instead.
 	Queries      int64
 	QueriesSaved int64
-	Elapsed      time.Duration
+	// QueriesCoalesced counts queries answered by joining an identical
+	// in-flight query, QueriesBatched those shipped inside shared batch
+	// wire requests — the execution layer's savings (zero without it).
+	QueriesCoalesced int64
+	QueriesBatched   int64
+	Elapsed          time.Duration
 }
 
 // Sampler is the assembled system: connector (optionally wrapped in the
@@ -124,6 +202,7 @@ type Stats struct {
 type Sampler struct {
 	conn   Conn
 	cache  *history.Cache
+	exec   *queryexec.Executor
 	gen    core.Generator
 	rej    core.Acceptor
 	schema *Schema
@@ -138,8 +217,21 @@ func New(ctx context.Context, conn Conn, cfg Config) (*Sampler, error) {
 	}
 	s := &Sampler{conn: conn, schema: schema, cfg: cfg}
 	effective := conn
+	// The execution layer sits below the cache: cache misses are the
+	// queries worth rate-bounding. A lone sampler has no concurrency to
+	// coalesce or batch (its generator issues queries sequentially, so a
+	// linger window could only ever hold one query and would add pure
+	// latency), so it routes through the layer only when an admission
+	// knob asks for it; ReplicaSet wires the full layer for the
+	// concurrent paths.
+	if !cfg.Exec.Disable && cfg.Exec.limited() {
+		opts := cfg.Exec.options()
+		opts.BatchLinger = 0
+		s.exec = queryexec.New(conn, opts)
+		effective = s.exec
+	}
 	if cfg.UseHistory {
-		s.cache = history.New(conn, history.Options{TrustCounts: cfg.TrustCounts})
+		s.cache = history.New(effective, history.Options{TrustCounts: cfg.TrustCounts})
 		effective = s.cache
 	}
 	order := core.OrderFixed
@@ -181,8 +273,10 @@ func New(ctx context.Context, conn Conn, cfg Config) (*Sampler, error) {
 				k = 1000
 			}
 			slider := cfg.Slider
-			if slider == 0 && cfg.C == 0 {
-				// Zero-value Config means "fastest": the raw walk.
+			if slider == 0 && !cfg.SliderSet {
+				// Zero-value Config means "fastest": the raw walk. An
+				// explicit Slider: 0 (SliderSet) keeps the documented
+				// lowest-skew meaning instead.
 				slider = 1
 			}
 			c = core.SliderC(schema, cfg.Attrs, k, slider)
@@ -241,6 +335,15 @@ func (s *Sampler) Draw(ctx context.Context, n int) ([]Tuple, Stats, error) {
 // until the kill switch); read samples from Pipeline.Start.
 func (s *Sampler) NewPipeline(n int) *Pipeline {
 	return core.NewPipeline(s.gen, s.rej, core.PipelineConfig{Target: n})
+}
+
+// ExecStats returns the execution layer's counters; ok is false when the
+// sampler runs without the layer.
+func (s *Sampler) ExecStats() (ExecStats, bool) {
+	if s.exec == nil {
+		return ExecStats{}, false
+	}
+	return s.exec.ExecStats(), true
 }
 
 // HistoryStats returns (saved, issued) query counts when UseHistory is on.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"hdsampler/internal/datagen"
 	"hdsampler/internal/formclient"
@@ -542,6 +543,30 @@ func TestPipelineTargetAndProgress(t *testing.T) {
 		if s.Reach <= 0 || s.Tuple.Vals == nil {
 			t.Fatal("malformed sample")
 		}
+	}
+}
+
+func TestPipelineElapsedFreezesAtCompletion(t *testing.T) {
+	db := fig1DB(t, 1)
+	ctx := context.Background()
+	w, err := NewWalker(ctx, formclient.NewLocal(db), WalkerConfig{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(w, nil, PipelineConfig{Target: 5})
+	for range p.Start(ctx) {
+	}
+	first := p.Progress()
+	if !first.Done {
+		t.Fatalf("pipeline not done: %+v", first)
+	}
+	if first.Elapsed <= 0 {
+		t.Fatalf("finished pipeline has elapsed %v", first.Elapsed)
+	}
+	time.Sleep(30 * time.Millisecond)
+	second := p.Progress()
+	if second.Elapsed != first.Elapsed {
+		t.Fatalf("elapsed kept ticking after completion: %v then %v", first.Elapsed, second.Elapsed)
 	}
 }
 

@@ -59,6 +59,7 @@ type Pipeline struct {
 	accepted   atomic.Int64
 	rejected   atomic.Int64
 	start      time.Time
+	elapsed    atomic.Int64 // frozen run duration (ns), set before done
 	done       atomic.Bool
 	err        atomic.Value // error
 }
@@ -102,6 +103,9 @@ func (p *Pipeline) Start(ctx context.Context) <-chan Sample {
 	}()
 	go func() {
 		defer func() {
+			// Freeze the run duration before publishing done, so Progress
+			// never reports a finished pipeline with a still-ticking clock.
+			p.elapsed.Store(int64(time.Since(p.start)))
 			p.done.Store(true)
 			p.cancel()
 			close(p.samples)
@@ -153,7 +157,12 @@ func (p *Pipeline) Progress() Progress {
 		Done:       p.done.Load(),
 		Err:        p.Err(),
 	}
-	if !p.start.IsZero() {
+	switch {
+	case pr.Done:
+		// The run is over: elapsed stays frozen at the completion time
+		// instead of growing forever under a status poller.
+		pr.Elapsed = time.Duration(p.elapsed.Load())
+	case !p.start.IsZero():
 		pr.Elapsed = time.Since(p.start)
 	}
 	return pr

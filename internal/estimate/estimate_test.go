@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -186,6 +187,47 @@ func TestSum(t *testing.T) {
 	}
 	if e := Sum(nil, pred, 2, 100); e.Value != 0 {
 		t.Errorf("empty sum = %+v", e)
+	}
+}
+
+// TestSingleSampleStdErrFinite is the n < 2 regression guard: Sum/Avg
+// over exactly one (matching) sample must report a zero standard error —
+// never the NaN an unguarded (n-1)-divisor stddev would produce, which
+// encoding/json refuses to marshal (the webui aggregate endpoint serves
+// these values as JSON). N carries the "one sample" caveat.
+func TestSingleSampleStdErrFinite(t *testing.T) {
+	one := []hiddendb.Tuple{mkSample(0, 0, 0, 0, 42)}
+	pred := hiddendb.MustQuery(hiddendb.Predicate{Attr: 0, Value: 0})
+
+	sum := Sum(one, pred, 2, 100)
+	if sum.Value != 4200 || sum.N != 1 {
+		t.Fatalf("sum = %+v, want 4200 over 1", sum)
+	}
+	avg := Avg(one, pred, 2)
+	if avg.Value != 42 || avg.N != 1 {
+		t.Fatalf("avg = %+v, want 42 over 1", avg)
+	}
+	// A multi-sample set where the predicate matches exactly one row
+	// exercises Avg's matching-subset path too.
+	mixed := []hiddendb.Tuple{
+		mkSample(0, 0, 0, 0, 42),
+		mkSample(1, 1, 0, 0, 7),
+		mkSample(2, 1, 0, 0, 9),
+	}
+	avgOne := Avg(mixed, pred, 2)
+	if avgOne.Value != 42 || avgOne.N != 1 {
+		t.Fatalf("single-match avg = %+v", avgOne)
+	}
+	for name, e := range map[string]Estimate{"sum": sum, "avg": avg, "avg-one-match": avgOne} {
+		if math.IsNaN(e.StdErr) || math.IsInf(e.StdErr, 0) {
+			t.Fatalf("%s stderr = %g, want finite", name, e.StdErr)
+		}
+		if e.StdErr != 0 {
+			t.Fatalf("%s stderr = %g, want 0 for n < 2", name, e.StdErr)
+		}
+		if _, err := json.Marshal(e); err != nil {
+			t.Fatalf("%s does not marshal: %v", name, err)
+		}
 	}
 }
 

@@ -116,6 +116,7 @@ func All() []Experiment {
 		{"weighted", "ext — Horvitz–Thompson weighting vs rejection", WeightedEstimation},
 		{"deployment", "ext — the fully realistic interface end to end", Deployment},
 		{"cache", "ext — shared history cache under concurrency", CacheConcurrency},
+		{"exec", "ext — query-execution layer wire savings", ExecLayer},
 	}
 }
 

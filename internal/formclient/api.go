@@ -121,6 +121,11 @@ func (a *API) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, 
 	if err := json.Unmarshal([]byte(body), &wr); err != nil {
 		return nil, fmt.Errorf("%w: result JSON: %v", ErrPageFormat, err)
 	}
+	return decodeWireResult(schema, &wr)
+}
+
+// decodeWireResult converts one wire result into a hiddendb.Result.
+func decodeWireResult(schema *hiddendb.Schema, wr *wireResult) (*hiddendb.Result, error) {
 	res := &hiddendb.Result{Overflow: wr.Overflow, Count: hiddendb.CountAbsent}
 	if wr.Count != nil {
 		res.Count = *wr.Count
@@ -142,6 +147,64 @@ func (a *API) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, 
 		res.Tuples = append(res.Tuples, t)
 	}
 	return res, nil
+}
+
+// wireBatch is the POST /api/search/batch request body: one predicate map
+// (attribute name → value index) per query.
+type wireBatch struct {
+	Queries []map[string]int `json:"queries"`
+}
+
+// wireBatchResult is the batch endpoint's response body.
+type wireBatchResult struct {
+	Results []wireResult `json:"results"`
+}
+
+// ExecuteBatch answers several queries with one POST /api/search/batch
+// wire request — the queryexec micro-batching capability. The server
+// charges the whole batch a single rate-limit token, so b packed queries
+// cost 1/b of the politeness budget each.
+func (a *API) ExecuteBatch(ctx context.Context, qs []hiddendb.Query) ([]*hiddendb.Result, error) {
+	schema, err := a.Schema(ctx)
+	if err != nil {
+		return nil, err
+	}
+	req := wireBatch{Queries: make([]map[string]int, len(qs))}
+	for i, q := range qs {
+		if err := q.ValidateAgainst(schema); err != nil {
+			return nil, err
+		}
+		m := make(map[string]int, q.Len())
+		for _, p := range q.Preds() {
+			m[schema.Attrs[p.Attr].Name] = p.Value
+		}
+		req.Queries[i] = m
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := a.http.post(ctx, a.http.base+"/api/search/batch", "application/json", string(payload))
+	if err != nil {
+		return nil, err
+	}
+	a.queries.Add(int64(len(qs)))
+	var wbr wireBatchResult
+	if err := json.Unmarshal([]byte(body), &wbr); err != nil {
+		return nil, fmt.Errorf("%w: batch result JSON: %v", ErrPageFormat, err)
+	}
+	if len(wbr.Results) != len(qs) {
+		return nil, fmt.Errorf("%w: batch answered %d of %d queries", ErrPageFormat, len(wbr.Results), len(qs))
+	}
+	out := make([]*hiddendb.Result, len(qs))
+	for i := range wbr.Results {
+		res, err := decodeWireResult(schema, &wbr.Results[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // Stats implements Conn.

@@ -97,6 +97,17 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // get fetches a URL with rate-limit retries and returns the body.
 func (h *HTTP) get(ctx context.Context, u string) (string, error) {
+	return h.do(ctx, http.MethodGet, u, "", "")
+}
+
+// post submits a payload with the same retry and politeness machinery.
+func (h *HTTP) post(ctx context.Context, u, contentType, payload string) (string, error) {
+	return h.do(ctx, http.MethodPost, u, contentType, payload)
+}
+
+// do performs one logical request with rate-limit retries and returns the
+// body.
+func (h *HTTP) do(ctx context.Context, method, u, contentType, payload string) (string, error) {
 	var lastWait time.Duration
 	for attempt := 0; attempt < h.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -110,9 +121,16 @@ func (h *HTTP) get(ctx context.Context, u string) (string, error) {
 				return "", err
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		var reqBody io.Reader
+		if method != http.MethodGet {
+			reqBody = strings.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, reqBody)
 		if err != nil {
 			return "", err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
 		}
 		h.requests.Add(1)
 		resp, err := h.opts.Client.Do(req)
@@ -131,8 +149,8 @@ func (h *HTTP) get(ctx context.Context, u string) (string, error) {
 			lastWait = retryWait(resp, h.opts.MaxRetryWait)
 			continue
 		default:
-			return "", fmt.Errorf("formclient: GET %s: status %d: %s",
-				u, resp.StatusCode, strings.TrimSpace(string(body)))
+			return "", fmt.Errorf("formclient: %s %s: status %d: %s",
+				method, u, resp.StatusCode, strings.TrimSpace(string(body)))
 		}
 	}
 	return "", fmt.Errorf("%w: %s", ErrRateLimited, u)

@@ -3,106 +3,17 @@ package jobsvc
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
-	"time"
 
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/hiddendb"
 )
 
-// hostLimiter is a context-aware token bucket shared by every job hitting
-// one host — the per-host politeness budget. Unlike the retry/backoff
-// logic inside formclient (which reacts to a site's 429s), the limiter
-// proactively spaces real queries out so many concurrent jobs together
-// stay under the configured rate.
-//
-// Reservation-style accounting: each caller takes a token immediately and
-// sleeps off any debt, so arrivals are served in near-FIFO order without
-// a queue.
-type hostLimiter struct {
-	rate  float64 // tokens per second
-	burst float64
-
-	mu     sync.Mutex
-	tokens float64
-	last   time.Time
-
-	waits atomic.Int64 // queries that had to sleep
-
-	now   func() time.Time
-	sleep func(ctx context.Context, d time.Duration) error
-}
-
-func newHostLimiter(rate float64, burst int) *hostLimiter {
-	if burst <= 0 {
-		burst = 10
-	}
-	l := &hostLimiter{
-		rate:  rate,
-		burst: float64(burst),
-		now:   time.Now,
-		sleep: sleepCtx,
-	}
-	l.tokens = l.burst
-	return l
-}
-
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
-}
-
-// wait blocks until the caller's token is due (or ctx is done).
-func (l *hostLimiter) wait(ctx context.Context) error {
-	if l == nil || l.rate <= 0 {
-		return nil
-	}
-	l.mu.Lock()
-	now := l.now()
-	if !l.last.IsZero() {
-		l.tokens += now.Sub(l.last).Seconds() * l.rate
-		if l.tokens > l.burst {
-			l.tokens = l.burst
-		}
-	}
-	l.last = now
-	l.tokens--
-	debt := -l.tokens
-	l.mu.Unlock()
-	if debt <= 0 {
-		return nil
-	}
-	l.waits.Add(1)
-	return l.sleep(ctx, time.Duration(debt/l.rate*float64(time.Second)))
-}
-
-// throttleConn interposes the per-host limiter on every real interface
-// query. It sits below the shared history cache, so cache-answered
-// queries cost no politeness tokens.
-type throttleConn struct {
-	inner formclient.Conn
-	lim   *hostLimiter
-}
-
-func (t *throttleConn) Schema(ctx context.Context) (*hiddendb.Schema, error) {
-	return t.inner.Schema(ctx)
-}
-
-func (t *throttleConn) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
-	if err := t.lim.wait(ctx); err != nil {
-		return nil, err
-	}
-	return t.inner.Execute(ctx, q)
-}
-
-func (t *throttleConn) Stats() formclient.Stats { return t.inner.Stats() }
+// The per-host politeness budget and concurrency bound live in the shared
+// queryexec layer now (see hostEntry in manager.go): every job hitting one
+// host draws through one queryexec.Executor whose AIMD limiter bounds the
+// *aggregate* request stream — unlike the old per-goroutine politeness
+// sleeps, which let N workers together exceed the configured rate N-fold.
 
 // budgetConn enforces one job's MaxQueries: it counts the queries the
 // job's samplers issue (the same number Stats.Queries reports — history
@@ -127,7 +38,4 @@ func (b *budgetConn) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.R
 
 func (b *budgetConn) Stats() formclient.Stats { return b.inner.Stats() }
 
-var (
-	_ formclient.Conn = (*throttleConn)(nil)
-	_ formclient.Conn = (*budgetConn)(nil)
-)
+var _ formclient.Conn = (*budgetConn)(nil)

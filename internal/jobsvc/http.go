@@ -154,6 +154,41 @@ func writeMetrics(w http.ResponseWriter, m *Manager) {
 	for _, h := range hosts {
 		fmt.Fprintf(w, "hdsamplerd_host_throttled_total{host=%q} %d\n", h.Host, h.Throttled)
 	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_coalesced_total Queries answered by joining an identical in-flight query.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_coalesced_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_exec_coalesced_total{host=%q} %d\n", h.Host, h.Coalesced)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_batched_total Queries shipped inside shared batch wire requests.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_batched_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_exec_batched_total{host=%q} %d\n", h.Host, h.Batched)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_batch_requests_total Batch wire requests issued (each carries several queries under one rate-limit charge).")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_batch_requests_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_exec_batch_requests_total{host=%q} %d\n", h.Host, h.BatchRequests)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_wire_calls_total Wire executions (single-query requests plus batch requests).")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_wire_calls_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_exec_wire_calls_total{host=%q} %d\n", h.Host, h.WireCalls)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_in_flight Wire requests currently running against each host.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_in_flight gauge")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_exec_in_flight{host=%q} %d\n", h.Host, h.InFlight)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_concurrency_limit Current AIMD concurrency window per host (0 = unlimited).")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_concurrency_limit gauge")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_exec_concurrency_limit{host=%q} %g\n", h.Host, h.Limit)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_backoffs_total Multiplicative window cuts after 429 pushback.")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_backoffs_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_exec_backoffs_total{host=%q} %d\n", h.Host, h.Backoffs)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

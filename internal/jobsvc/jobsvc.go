@@ -48,10 +48,13 @@ type Spec struct {
 	N int `json:"n"`
 	// Workers is the sampler replica count (default 1).
 	Workers int `json:"workers,omitempty"`
-	// Slider is the efficiency↔skew knob in [0,1] (see hdsampler.Config);
-	// C, when positive, sets the rejection target directly.
-	Slider float64 `json:"slider,omitempty"`
-	C      float64 `json:"c,omitempty"`
+	// Slider is the efficiency↔skew knob in [0,1] (see hdsampler.Config):
+	// omitted/null keeps the fastest default (1), and an explicit 0 —
+	// representable because the field is a pointer — selects the
+	// documented lowest-skew walk. C, when positive, sets the rejection
+	// target directly.
+	Slider *float64 `json:"slider,omitempty"`
+	C      float64  `json:"c,omitempty"`
 	// K is the interface's top-k limit for the slider mapping.
 	K int `json:"k,omitempty"`
 	// Seed drives all randomness; equal specs replay identically.
@@ -95,8 +98,8 @@ func (s *Spec) normalize() (*url.URL, error) {
 	default:
 		return nil, fmt.Errorf("jobsvc: unknown method %q (want uniform, weighted or crawl)", s.Method)
 	}
-	if s.Slider < 0 || s.Slider > 1 {
-		return nil, fmt.Errorf("jobsvc: slider = %g, need [0,1]", s.Slider)
+	if s.Slider != nil && (*s.Slider < 0 || *s.Slider > 1) {
+		return nil, fmt.Errorf("jobsvc: slider = %g, need [0,1]", *s.Slider)
 	}
 	if s.URL == "" {
 		return nil, errors.New("jobsvc: missing target url")

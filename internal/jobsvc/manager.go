@@ -19,6 +19,7 @@ import (
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/history"
 	"hdsampler/internal/metrics"
+	"hdsampler/internal/queryexec"
 	"hdsampler/internal/store"
 )
 
@@ -32,11 +33,24 @@ type Config struct {
 	// Default 4.
 	MaxConcurrent int
 	// HostRatePerSec is the per-host politeness budget: all jobs hitting
-	// one host together issue at most this many real interface queries
-	// per second. 0 disables throttling.
+	// one host together issue at most this many real wire requests per
+	// second (a batch request counts once — that is the batching win).
+	// 0 disables throttling.
 	HostRatePerSec float64
 	// HostBurst is the politeness token bucket capacity (default 10).
 	HostBurst int
+	// HostMaxInFlight caps concurrent wire requests per host: the AIMD
+	// adaptive-concurrency ceiling, additively raised on clean responses
+	// and multiplicatively cut on 429 pushback. 0 disables concurrency
+	// limiting.
+	HostMaxInFlight int
+	// BatchLinger, when positive, lets concurrent distinct queries from
+	// all jobs on one API target share batch wire requests packed within
+	// this window (POST /api/search/batch; one rate-limit charge per
+	// batch). HTML targets fall back to sequential execution.
+	BatchLinger time.Duration
+	// BatchMax bounds queries per batch wire request (default 16).
+	BatchMax int
 	// CacheMaxEntries caps each shared per-host history cache
 	// (0 = unlimited).
 	CacheMaxEntries int
@@ -65,22 +79,25 @@ type Manager struct {
 	wg     sync.WaitGroup
 }
 
-// hostEntry shares one politeness limiter and one history cache across
-// every job hitting a host.
+// hostEntry shares one admission limiter (rate + AIMD concurrency), one
+// execution layer per target, and one history cache across every job
+// hitting a host.
 type hostEntry struct {
 	host    string
-	limiter *hostLimiter
+	limiter *queryexec.Limiter
 
 	mu      sync.Mutex
 	targets map[string]*target
 }
 
 // target is one (connector kind, base URL) stack below the caches: the
-// raw formclient conn wrapped in the host's throttle. Caches are split by
+// raw formclient conn wrapped in the shared execution layer (coalescing,
+// batching, host-wide admission control). Caches are split by
 // TrustCounts because trusted and untrusted inference disagree.
 type target struct {
 	key    string // connector + "|" + URL, the checkpoint identity
 	conn   formclient.Conn
+	exec   *queryexec.Executor
 	caches map[bool]*history.Cache
 }
 
@@ -170,8 +187,12 @@ func (m *Manager) hostLocked(host string) *hostEntry {
 	he, ok := m.hosts[host]
 	if !ok {
 		he = &hostEntry{host: host, targets: make(map[string]*target)}
-		if m.cfg.HostRatePerSec > 0 {
-			he.limiter = newHostLimiter(m.cfg.HostRatePerSec, m.cfg.HostBurst)
+		if m.cfg.HostRatePerSec > 0 || m.cfg.HostMaxInFlight > 0 {
+			he.limiter = queryexec.NewLimiter(queryexec.LimiterOptions{
+				MaxInFlight: m.cfg.HostMaxInFlight,
+				RatePerSec:  m.cfg.HostRatePerSec,
+				Burst:       m.cfg.HostBurst,
+			})
 		}
 		m.hosts[host] = he
 	}
@@ -179,9 +200,10 @@ func (m *Manager) hostLocked(host string) *hostEntry {
 }
 
 // connFor assembles the job's connector stack: base conn (shared per
-// target URL) → per-host throttle → shared history cache (unless opted
-// out) → per-job query budget. A cache created here is warm-started from
-// its HistoryDir checkpoint, when one exists.
+// target URL) → shared execution layer (coalescing, micro-batching,
+// host-wide AIMD admission) → shared history cache (unless opted out) →
+// per-job query budget. A cache created here is warm-started from its
+// HistoryDir checkpoint, when one exists.
 func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.Cache) {
 	key := spec.Connector + "|" + spec.URL
 
@@ -195,10 +217,12 @@ func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.C
 		} else {
 			base = formclient.NewHTTP(spec.URL, opts)
 		}
-		if he.limiter != nil {
-			base = &throttleConn{inner: base, lim: he.limiter}
-		}
-		tg = &target{key: key, conn: base, caches: make(map[bool]*history.Cache)}
+		exec := queryexec.New(base, queryexec.Options{
+			BatchLinger: cfg.BatchLinger,
+			MaxBatch:    cfg.BatchMax,
+			Limiter:     he.limiter,
+		})
+		tg = &target{key: key, conn: exec, exec: exec, caches: make(map[bool]*history.Cache)}
 		he.targets[key] = tg
 	}
 	var conn formclient.Conn = tg.conn
@@ -347,13 +371,19 @@ func (m *Manager) run(j *job, conn formclient.Conn) {
 
 	cfg := hdsampler.Config{
 		Seed:         j.spec.Seed,
-		Slider:       j.spec.Slider,
 		C:            j.spec.C,
 		K:            j.spec.K,
 		ShuffleOrder: !j.spec.NoShuffle,
 		// History, when on, is already in the conn stack (shared across
-		// jobs); the replicas must not wrap another cache on top.
+		// jobs); the replicas must not wrap another cache on top. The
+		// same goes for the execution layer: the shared per-host
+		// executor sits below the caches.
 		UseHistory: false,
+		Exec:       hdsampler.ExecConfig{Disable: true},
+	}
+	if j.spec.Slider != nil {
+		cfg.Slider = *j.spec.Slider
+		cfg.SliderSet = true
 	}
 	if j.spec.Method == MethodWeighted {
 		cfg.Method = hdsampler.MethodCountWeighted
@@ -614,10 +644,26 @@ type HostStats struct {
 	Inferred  int64 `json:"inferred"`
 	Evictions int64 `json:"evictions"`
 	// Entries is the total cached query count (Protected the pinned
-	// subset), Throttled the queries the politeness limiter had to delay.
+	// subset), Throttled the wire requests the admission limiter had to
+	// delay for the politeness budget.
 	Entries   int   `json:"entries"`
 	Protected int   `json:"protected"`
 	Throttled int64 `json:"throttled"`
+	// Coalesced / Batched / BatchRequests / WireCalls sum the host's
+	// execution-layer savings: queries answered by joining identical
+	// in-flight queries, queries shipped inside shared batch requests,
+	// the batch wire requests themselves, and total wire executions.
+	Coalesced     int64 `json:"coalesced"`
+	Batched       int64 `json:"batched"`
+	BatchRequests int64 `json:"batch_requests"`
+	WireCalls     int64 `json:"wire_calls"`
+	// InFlight and Limit snapshot the host's admission controller: wire
+	// requests currently running and the AIMD concurrency window (0 when
+	// concurrency limiting is off). Backoffs counts 429-pushback window
+	// cuts.
+	InFlight int     `json:"in_flight"`
+	Limit    float64 `json:"limit"`
+	Backoffs int64   `json:"backoffs"`
 	// ShardBalance summarizes per-shard entry counts across the host's
 	// caches: CV 0 means the shards carry identical load.
 	ShardBalance metrics.Summary `json:"shard_balance"`
@@ -638,12 +684,20 @@ func (m *Manager) Hosts() []HostStats {
 	for _, he := range hes {
 		hs := HostStats{Host: he.host}
 		if he.limiter != nil {
-			hs.Throttled = he.limiter.waits.Load()
+			hs.Throttled = he.limiter.Waits()
+			hs.Backoffs = he.limiter.Backoffs()
+			hs.InFlight = he.limiter.InFlight()
+			hs.Limit = he.limiter.Limit()
 		}
 		var shardLoads []float64
 		he.mu.Lock()
 		caches := make([]*history.Cache, 0, len(he.targets))
 		for _, tg := range he.targets {
+			xs := tg.exec.ExecStats()
+			hs.Coalesced += xs.Coalesced
+			hs.Batched += xs.Batched
+			hs.BatchRequests += xs.BatchRequests
+			hs.WireCalls += xs.WireCalls
 			for _, c := range tg.caches {
 				caches = append(caches, c)
 			}

@@ -74,7 +74,8 @@ func TestSpecValidation(t *testing.T) {
 		{"bad method", Spec{URL: "http://x.test", N: 5, Method: "exhaustive"}, "unknown method"},
 		{"zero n", Spec{URL: "http://x.test"}, "need > 0"},
 		{"crawl without n", Spec{URL: "http://x.test", Method: MethodCrawl}, ""},
-		{"bad slider", Spec{URL: "http://x.test", N: 5, Slider: 1.5}, "slider"},
+		{"bad slider", Spec{URL: "http://x.test", N: 5, Slider: ptr(1.5)}, "slider"},
+		{"explicit zero slider", Spec{URL: "http://x.test", N: 5, Slider: ptr(0.0)}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -96,48 +97,8 @@ func TestSpecValidation(t *testing.T) {
 	}
 }
 
-func TestHostLimiterSpacing(t *testing.T) {
-	l := newHostLimiter(2, 1) // 2 queries/sec, burst 1
-	now := time.Unix(0, 0)
-	var slept []time.Duration
-	l.now = func() time.Time { return now }
-	l.sleep = func(ctx context.Context, d time.Duration) error {
-		slept = append(slept, d)
-		return nil
-	}
-	ctx := context.Background()
-	// Burst token: immediate.
-	if err := l.wait(ctx); err != nil || len(slept) != 0 {
-		t.Fatalf("first wait slept %v, err %v", slept, err)
-	}
-	// Same instant: one token of debt = 500ms at 2/s.
-	if err := l.wait(ctx); err != nil || len(slept) != 1 || slept[0] != 500*time.Millisecond {
-		t.Fatalf("second wait slept %v, err %v", slept, err)
-	}
-	// After a second the bucket has refilled one token.
-	now = now.Add(time.Second)
-	if err := l.wait(ctx); err != nil {
-		t.Fatal(err)
-	}
-	if len(slept) != 1 {
-		t.Fatalf("refilled wait slept again: %v", slept)
-	}
-	if l.waits.Load() != 1 {
-		t.Fatalf("waits = %d, want 1", l.waits.Load())
-	}
-}
-
-func TestHostLimiterCancelled(t *testing.T) {
-	l := newHostLimiter(0.001, 1)
-	ctx, cancel := context.WithCancel(context.Background())
-	if err := l.wait(ctx); err != nil {
-		t.Fatal(err)
-	}
-	cancel()
-	if err := l.wait(ctx); err == nil {
-		t.Fatal("wait with cancelled context succeeded")
-	}
-}
+// ptr returns a pointer to v, for optional Spec fields.
+func ptr(v float64) *float64 { return &v }
 
 func TestBudgetConn(t *testing.T) {
 	ds := datagen.Vehicles(10, 1)
@@ -289,7 +250,9 @@ func TestWeightedJobAgainstCountingInterface(t *testing.T) {
 
 func TestPolitenessThrottleCounts(t *testing.T) {
 	_, srv := newTarget(t, 1000, 150, hiddendb.CountNone)
-	m := newTestManager(t, srv, Config{HostRatePerSec: 300, HostBurst: 2})
+	// A tight budget (50/s, burst 1): even under -race slowdown the
+	// concurrent workers must outpace the meter and be delayed.
+	m := newTestManager(t, srv, Config{HostRatePerSec: 50, HostBurst: 1})
 	v, err := m.Submit(Spec{URL: srv.URL, N: 15, Workers: 3, Seed: 6, NoHistory: true})
 	if err != nil {
 		t.Fatal(err)
@@ -303,7 +266,54 @@ func TestPolitenessThrottleCounts(t *testing.T) {
 		t.Fatalf("hosts = %d, want 1", len(hosts))
 	}
 	if hosts[0].Throttled == 0 {
-		t.Fatal("politeness limiter never delayed a query at 300 q/s with burst 2")
+		t.Fatal("politeness limiter never delayed a query at 50 q/s with burst 1")
+	}
+}
+
+// TestExecLayerBatchesAcrossWorkers drives a replica pool through the
+// daemon's shared execution layer with micro-batching on: the host's
+// wire bill must come in under the workers' logical query bill, and the
+// exec counters must show why.
+func TestExecLayerBatchesAcrossWorkers(t *testing.T) {
+	_, srv := newTarget(t, 1500, 200, hiddendb.CountNone)
+	m := newTestManager(t, srv, Config{
+		BatchLinger:     2 * time.Millisecond,
+		BatchMax:        16,
+		HostMaxInFlight: 8,
+	})
+	v, err := m.Submit(Spec{URL: srv.URL, Connector: ConnectorAPI, N: 48, Workers: 8, Seed: 9, NoHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitJob(t, m, v.ID, 60*time.Second, func(v View) bool { return v.State.Terminal() })
+	if v.State != StateCompleted {
+		t.Fatalf("job: %+v", v)
+	}
+	hosts := m.Hosts()
+	if len(hosts) != 1 {
+		t.Fatalf("hosts = %d", len(hosts))
+	}
+	hs := hosts[0]
+	if hs.Coalesced+hs.Batched == 0 {
+		t.Fatalf("execution layer idle: %+v", hs)
+	}
+	if hs.WireCalls == 0 || hs.WireCalls >= v.Queries {
+		t.Fatalf("wire calls = %d for %d logical queries; no amortization", hs.WireCalls, v.Queries)
+	}
+	if hs.Limit <= 0 || hs.Limit > 8 {
+		t.Fatalf("AIMD window = %g, want in (0, 8]", hs.Limit)
+	}
+	// A straggler batch flush may still be draining right after the job
+	// turns terminal (abandoned waiters do not cancel the shared flush);
+	// the gauge must settle to zero, not leak slots.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if inFlight := m.Hosts()[0].InFlight; inFlight == 0 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("in-flight never drained: %d", inFlight)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -315,7 +325,7 @@ func TestHistoryCheckpointAndWarmStart(t *testing.T) {
 	// First life: run a job, then shut down — the shared cache must be
 	// checkpointed to HistoryDir.
 	m1 := NewManager(cfg)
-	v, err := m1.Submit(Spec{URL: srv.URL, N: 30, Workers: 2, Slider: 1, Seed: 1})
+	v, err := m1.Submit(Spec{URL: srv.URL, N: 30, Workers: 2, Slider: ptr(1), Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +347,7 @@ func TestHistoryCheckpointAndWarmStart(t *testing.T) {
 	// Second life: a fresh manager warm-starts the cache during Submit,
 	// before the job draws anything.
 	m2 := newTestManager(t, srv, Config{HistoryDir: histDir})
-	v2, err := m2.Submit(Spec{URL: srv.URL, N: 30, Workers: 2, Slider: 1, Seed: 2})
+	v2, err := m2.Submit(Spec{URL: srv.URL, N: 30, Workers: 2, Slider: ptr(1), Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

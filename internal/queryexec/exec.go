@@ -1,0 +1,341 @@
+// Package queryexec is the query-execution layer every concurrent sampler
+// path routes through on its way to the interface. It attacks the round
+// trips the history cache cannot: the cache memoizes *completed* queries,
+// but concurrent replicas walking the same top-of-tree prefixes race
+// identical in-flight queries past each other and all miss. The layer
+// stacks three mechanisms below the cache:
+//
+//   - Single-flight coalescing: identical in-flight queries (keyed like
+//     the history cache, on the canonical Query.Key) collapse into one
+//     wire request whose answer fans out to every waiter.
+//   - Micro-batching: a small linger window packs concurrent *distinct*
+//     queries into one batch wire request when the connector supports it
+//     (formclient.API against webform's POST /api/search/batch). The
+//     server executes the whole batch under a single rate-limit charge,
+//     so a batch of b queries costs 1/b of the politeness budget each.
+//     Connectors without batch support (HTML scraping) fall back to
+//     sequential per-query execution — coalescing and limiting still
+//     apply.
+//   - An AIMD adaptive concurrency limiter shared per host: additive
+//     increase on clean responses, multiplicative decrease on 429
+//     pushback, plus an aggregate rate meter. This replaces the fixed
+//     per-goroutine politeness sleep, which never bounded the *aggregate*
+//     rate (N replicas each sleeping independently still hit the site at
+//     N times the configured pace).
+package queryexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdsampler/internal/formclient"
+	"hdsampler/internal/hiddendb"
+)
+
+// BatchExecer is the optional connector capability micro-batching needs:
+// answering several conjunctive queries in one wire request.
+type BatchExecer interface {
+	// ExecuteBatch answers qs in order, one result per query.
+	ExecuteBatch(ctx context.Context, qs []hiddendb.Query) ([]*hiddendb.Result, error)
+}
+
+// Options tunes an Executor.
+type Options struct {
+	// BatchLinger, when positive, holds each wire-bound query up to this
+	// long so concurrent distinct queries can share one batch request.
+	// Ignored when the wrapped connector is not a BatchExecer.
+	BatchLinger time.Duration
+	// MaxBatch bounds the queries packed into one batch request (default
+	// 16); a full batch flushes immediately, before the linger expires.
+	MaxBatch int
+	// Limiter is the shared per-host admission controller; nil runs
+	// unlimited.
+	Limiter *Limiter
+}
+
+// Stats counts the execution layer's work.
+type Stats struct {
+	// Queries is the number of logical queries answered.
+	Queries int64
+	// Coalesced counts queries answered by joining an identical in-flight
+	// query instead of issuing their own wire request.
+	Coalesced int64
+	// Batched counts queries shipped inside a multi-query batch request;
+	// BatchRequests counts those wire requests.
+	Batched       int64
+	BatchRequests int64
+	// WireCalls counts wire executions: single-query requests plus batch
+	// requests (each batch is one).
+	WireCalls int64
+}
+
+// Executor is a formclient.Conn decorator implementing the execution
+// layer. It is safe for concurrent use; in a typical stack it sits
+// directly above the raw connector, below the shared history cache:
+//
+//	sampler → history.Cache → queryexec.Executor → formclient.{API,HTTP}
+type Executor struct {
+	inner formclient.Conn
+	batch BatchExecer // nil disables micro-batching
+	opts  Options
+
+	mu      sync.Mutex
+	calls   map[string]*call
+	pending []*pendingQuery
+	timer   *time.Timer
+
+	lastRetries atomic.Int64
+
+	queries   atomic.Int64
+	coalesced atomic.Int64
+	batched   atomic.Int64
+	batchReqs atomic.Int64
+	wire      atomic.Int64
+}
+
+// call is one in-flight single-flight execution.
+type call struct {
+	done   chan struct{}
+	res    *hiddendb.Result
+	err    error
+	shared bool // a follower joined: every reader must clone
+}
+
+// pendingQuery is one query waiting in the linger window.
+type pendingQuery struct {
+	q    hiddendb.Query
+	res  *hiddendb.Result
+	err  error
+	done chan struct{}
+}
+
+// New wraps inner with the execution layer. Micro-batching engages only
+// when opts.BatchLinger > 0 and inner implements BatchExecer.
+func New(inner formclient.Conn, opts Options) *Executor {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 16
+	}
+	x := &Executor{inner: inner, opts: opts, calls: make(map[string]*call)}
+	// Snapshot the connector's retry counter: pre-existing 429 history on
+	// a reused connector is not congestion this executor caused.
+	x.lastRetries.Store(inner.Stats().RateLimitRetries)
+	if opts.BatchLinger > 0 {
+		if be, ok := inner.(BatchExecer); ok {
+			x.batch = be
+		}
+	}
+	return x
+}
+
+// Schema implements formclient.Conn.
+func (x *Executor) Schema(ctx context.Context) (*hiddendb.Schema, error) {
+	return x.inner.Schema(ctx)
+}
+
+// Stats implements formclient.Conn: like the history cache, the executor
+// reports the wrapped connector's real traffic so samplers keep observing
+// true query costs. The layer's own effect is in ExecStats.
+func (x *Executor) Stats() formclient.Stats { return x.inner.Stats() }
+
+// ExecStats returns the layer's coalescing/batching counters.
+func (x *Executor) ExecStats() Stats {
+	return Stats{
+		Queries:       x.queries.Load(),
+		Coalesced:     x.coalesced.Load(),
+		Batched:       x.batched.Load(),
+		BatchRequests: x.batchReqs.Load(),
+		WireCalls:     x.wire.Load(),
+	}
+}
+
+// Limiter returns the shared admission controller (nil when unlimited).
+func (x *Executor) Limiter() *Limiter { return x.opts.Limiter }
+
+// Execute implements formclient.Conn with single-flight semantics: the
+// first caller of a canonical query becomes its leader and executes (via
+// the batcher when enabled); callers arriving while it is in flight wait
+// and share the answer.
+func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+	x.queries.Add(1)
+	key := q.Key()
+	for {
+		x.mu.Lock()
+		if c, ok := x.calls[key]; ok {
+			c.shared = true
+			x.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err != nil {
+				// A leader cancelled by its own caller must not poison
+				// followers whose contexts are still live: retry, becoming
+				// the new leader.
+				if ctx.Err() == nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+					continue
+				}
+				return nil, c.err
+			}
+			x.coalesced.Add(1)
+			return cloneResult(c.res), nil
+		}
+		c := &call{done: make(chan struct{})}
+		x.calls[key] = c
+		x.mu.Unlock()
+
+		res, err := x.execLeader(ctx, q)
+
+		x.mu.Lock()
+		delete(x.calls, key)
+		shared := c.shared
+		c.res, c.err = res, err
+		x.mu.Unlock()
+		close(c.done)
+		if err != nil {
+			return nil, err
+		}
+		if shared {
+			return cloneResult(res), nil
+		}
+		return res, nil
+	}
+}
+
+// execLeader performs the wire-bound execution for a single-flight leader.
+func (x *Executor) execLeader(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+	if x.batch == nil {
+		return x.execDirect(ctx, q)
+	}
+	return x.enqueue(ctx, q)
+}
+
+// execDirect issues one single-query wire request under the limiter.
+func (x *Executor) execDirect(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+	if err := x.opts.Limiter.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	res, err := x.inner.Execute(ctx, q)
+	x.wire.Add(1)
+	x.opts.Limiter.Release(x.clean(err))
+	return res, err
+}
+
+// clean reports whether a wire interaction ran free of rate-limit
+// pushback; it feeds the AIMD controller. The connector retries 429s
+// internally, so pushback is visible as a retry-counter advance (or, past
+// the retry budget, as ErrRateLimited).
+func (x *Executor) clean(err error) bool {
+	retries := x.inner.Stats().RateLimitRetries
+	prev := x.lastRetries.Swap(retries)
+	if err != nil && errors.Is(err, formclient.ErrRateLimited) {
+		return false
+	}
+	return retries <= prev
+}
+
+// enqueue parks a query in the linger window and waits for its flush.
+func (x *Executor) enqueue(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+	p := &pendingQuery{q: q, done: make(chan struct{})}
+	x.mu.Lock()
+	x.pending = append(x.pending, p)
+	var full []*pendingQuery
+	if len(x.pending) >= x.opts.MaxBatch {
+		full = x.takeLocked()
+	} else if len(x.pending) == 1 {
+		// The flush must not die with the first enqueuer: it answers every
+		// query the window accretes, so it detaches from that caller's
+		// cancellation (waiters still honor their own contexts below).
+		fctx := context.WithoutCancel(ctx)
+		x.timer = time.AfterFunc(x.opts.BatchLinger, func() { x.flush(fctx) })
+	}
+	x.mu.Unlock()
+	if full != nil {
+		x.run(context.WithoutCancel(ctx), full)
+	}
+	select {
+	case <-p.done:
+		return p.res, p.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// takeLocked claims the pending window and disarms its timer; the caller
+// holds x.mu.
+func (x *Executor) takeLocked() []*pendingQuery {
+	batch := x.pending
+	x.pending = nil
+	if x.timer != nil {
+		x.timer.Stop()
+		x.timer = nil
+	}
+	return batch
+}
+
+// flush executes whatever the linger window holds (the timer path).
+func (x *Executor) flush(ctx context.Context) {
+	x.mu.Lock()
+	batch := x.takeLocked()
+	x.mu.Unlock()
+	if len(batch) > 0 {
+		x.run(ctx, batch)
+	}
+}
+
+// run executes one claimed batch: a lone query goes out as a plain
+// request; two or more share one batch wire request and one rate-limit
+// charge. A failed batch falls back to unbatched execution — one query's
+// problem (a server-side budget, a validation error) must not abort its
+// batchmates' unrelated walks.
+func (x *Executor) run(ctx context.Context, batch []*pendingQuery) {
+	if len(batch) == 1 {
+		p := batch[0]
+		p.res, p.err = x.execDirect(ctx, p.q)
+		close(p.done)
+		return
+	}
+	qs := make([]hiddendb.Query, len(batch))
+	for i, p := range batch {
+		qs[i] = p.q
+	}
+	var results []*hiddendb.Result
+	err := x.opts.Limiter.Acquire(ctx)
+	if err == nil {
+		results, err = x.batch.ExecuteBatch(ctx, qs)
+		x.wire.Add(1)
+		x.batchReqs.Add(1)
+		x.opts.Limiter.Release(x.clean(err))
+		if err == nil && len(results) != len(batch) {
+			err = fmt.Errorf("queryexec: batch answered %d of %d queries", len(results), len(batch))
+		}
+	}
+	for i, p := range batch {
+		if err != nil {
+			p.res, p.err = x.execDirect(ctx, p.q)
+		} else {
+			p.res = results[i]
+			x.batched.Add(1)
+		}
+		close(p.done)
+	}
+}
+
+// cloneResult deep-copies a result so fan-out readers never share mutable
+// tuple state.
+func cloneResult(res *hiddendb.Result) *hiddendb.Result {
+	out := &hiddendb.Result{Overflow: res.Overflow, Count: res.Count}
+	if res.Tuples != nil {
+		out.Tuples = make([]hiddendb.Tuple, len(res.Tuples))
+		for i := range res.Tuples {
+			out.Tuples[i] = res.Tuples[i].Clone()
+		}
+	}
+	return out
+}
+
+var _ formclient.Conn = (*Executor)(nil)

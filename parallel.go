@@ -10,6 +10,7 @@ import (
 	"hdsampler/internal/estimate"
 	"hdsampler/internal/hiddendb"
 	"hdsampler/internal/history"
+	"hdsampler/internal/queryexec"
 )
 
 // ReplicaSet is the replica machinery behind DrawParallel, exposed as a
@@ -35,6 +36,7 @@ import (
 type ReplicaSet struct {
 	samplers []*Sampler
 	cache    *history.Cache
+	exec     *queryexec.Executor
 	savedAt0 int64
 
 	mu        sync.Mutex
@@ -54,20 +56,35 @@ func NewReplicaSet(ctx context.Context, conn Conn, cfg Config, workers int) (*Re
 	}
 	rs := &ReplicaSet{}
 	effective := conn
-	if cfg.UseHistory {
-		if hc, ok := conn.(*history.Cache); ok {
-			rs.cache = hc // adopt the caller's (possibly shared) cache
-		} else {
-			rs.cache = history.New(conn, history.Options{TrustCounts: cfg.TrustCounts})
+	if hc, ok := conn.(*history.Cache); ok && cfg.UseHistory {
+		// Adopt the caller's (possibly shared) cache. Its stack is the
+		// caller's business — the jobsvc daemon already keeps a shared
+		// per-host executor below its caches — so no layer is inserted.
+		rs.cache = hc
+		effective = hc
+	} else {
+		// The execution layer serves the replicas jointly, so it wraps
+		// the shared connector here, below the shared cache: replicas
+		// racing one top-of-tree query coalesce on a single wire request,
+		// and distinct concurrent cache misses share batch requests.
+		if !cfg.Exec.Disable {
+			rs.exec = queryexec.New(conn, cfg.Exec.options())
+			effective = rs.exec
 		}
-		effective = rs.cache
+		if cfg.UseHistory {
+			rs.cache = history.New(effective, history.Options{TrustCounts: cfg.TrustCounts})
+			effective = rs.cache
+		}
+	}
+	if rs.cache != nil {
 		rs.savedAt0 = rs.cache.CacheStats().Saved()
 	}
 	rs.samplers = make([]*Sampler, workers)
 	for i := range rs.samplers {
 		wcfg := cfg
-		wcfg.Seed = cfg.Seed + int64(i)*7919 // distinct streams per worker
-		wcfg.UseHistory = false              // the shared cache sits below
+		wcfg.Seed = cfg.Seed + int64(i)*7919  // distinct streams per worker
+		wcfg.UseHistory = false               // the shared cache sits below
+		wcfg.Exec = ExecConfig{Disable: true} // the shared executor, too
 		s, err := New(ctx, effective, wcfg)
 		if err != nil {
 			return nil, err
@@ -83,6 +100,16 @@ func (rs *ReplicaSet) Workers() int { return len(rs.samplers) }
 // Cache returns the history cache the replicas share (adopted or owned),
 // or nil when the set runs without history.
 func (rs *ReplicaSet) Cache() *history.Cache { return rs.cache }
+
+// ExecStats returns the shared execution layer's counters; ok is false
+// when the set runs without the layer (Exec.Disable, or an adopted cache
+// whose stack the caller owns).
+func (rs *ReplicaSet) ExecStats() (ExecStats, bool) {
+	if rs.exec == nil {
+		return ExecStats{}, false
+	}
+	return rs.exec.ExecStats(), true
+}
 
 // Schema returns the target database's discovered schema.
 func (rs *ReplicaSet) Schema() *Schema { return rs.samplers[0].Schema() }
@@ -188,6 +215,11 @@ func (rs *ReplicaSet) Progress() Stats {
 	if rs.cache != nil {
 		st.QueriesSaved = rs.cache.CacheStats().Saved() - rs.savedAt0
 	}
+	if rs.exec != nil {
+		xs := rs.exec.ExecStats()
+		st.QueriesCoalesced = xs.Coalesced
+		st.QueriesBatched = xs.Batched
+	}
 	return st
 }
 
@@ -215,8 +247,11 @@ func DrawParallel(ctx context.Context, conn Conn, cfg Config, n, workers int) ([
 	if n < workers {
 		// More replicas than samples would leave idle workers; a single
 		// replica (still through the ReplicaSet, so an injected cache is
-		// adopted rather than double-wrapped) is equivalent.
+		// adopted rather than double-wrapped) is equivalent. A lone
+		// sequential replica can never fill a batch window, so drop the
+		// linger — it would only add per-query latency.
 		workers = 1
+		cfg.Exec.BatchLinger = 0
 	}
 	rs, err := NewReplicaSet(ctx, conn, cfg, workers)
 	if err != nil {

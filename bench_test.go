@@ -251,6 +251,33 @@ func BenchmarkEndToEndDraw(b *testing.B) {
 	}
 }
 
+// BenchmarkWalkEndToEnd measures the full walk→history→exec→backend hot
+// path per accepted sample, allocations included: the assembled sampler
+// (random walk, shuffled order, history cache, execution layer) drawing
+// from an in-process interface. The allocs/op figure is the PR 4
+// zero-allocation target's headline metric.
+func BenchmarkWalkEndToEnd(b *testing.B) {
+	db := benchVehiclesDB(b, 20000, 1000, hiddendb.CountNone)
+	ctx := context.Background()
+	s, err := New(ctx, LocalConn(db), Config{
+		Seed: 7, Slider: 0.9, K: 1000, UseHistory: true, ShuffleOrder: true,
+		Exec: ExecConfig{MaxInFlight: 64},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the schema and cache top levels so iterations measure the
+	// steady-state walk, not the first-touch misses.
+	if _, _, err := s.Draw(ctx, 10); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, _, err := s.Draw(ctx, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkTableExecLayer(b *testing.B) { benchExperiment(b, "exec") }
 
 // BenchmarkExecCoalesce measures the single-flight fast path: parallel

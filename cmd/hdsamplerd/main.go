@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"hdsampler/internal/jobsvc"
+	"hdsampler/internal/pprofserve"
 )
 
 func main() {
@@ -46,8 +47,10 @@ func main() {
 		cacheCap     = flag.Int("cache-entries", 0, "max entries per shared host history cache (0 = unlimited)")
 		histDir      = flag.String("history-dir", "", "checkpoint directory for shared history caches: dumped on shutdown, warm-started on first use (empty = off)")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		pprofAddr    = flag.String("pprof", "", "listen address for net/http/pprof profiling, e.g. localhost:6060 (empty = disabled)")
 	)
 	flag.Parse()
+	pprofserve.Start("hdsamplerd", *pprofAddr)
 
 	mgr, srv := newDaemon(*addr, jobsvc.Config{
 		DataDir:         *dataDir,

@@ -18,24 +18,26 @@ import (
 
 	"hdsampler/internal/datagen"
 	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/pprofserve"
 	"hdsampler/internal/webform"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dataset  = flag.String("dataset", "vehicles", "dataset: vehicles | jobs | bool-iid | bool-corr | zipf")
-		csvPath  = flag.String("csv", "", "serve rows from this CSV file instead of a synthetic dataset (schema inferred)")
-		n        = flag.Int("n", 50000, "number of tuples")
-		m        = flag.Int("m", 12, "attributes (boolean/zipf datasets)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		k        = flag.Int("k", 1000, "top-k display limit")
-		counts   = flag.String("counts", "none", "count reporting: none | exact | approx")
-		noise    = flag.Float64("noise", 0.3, "max relative error of approximate counts")
-		rate     = flag.Float64("rate", 0, "per-client queries/sec (0 = unlimited)")
-		burst    = flag.Int("burst", 10, "rate-limit burst")
-		budget   = flag.Int64("budget", 0, "total query budget (0 = unlimited)")
-		maxBatch = flag.Int("max-batch", 16, "max queries per /api/search/batch request")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataset   = flag.String("dataset", "vehicles", "dataset: vehicles | jobs | bool-iid | bool-corr | zipf")
+		csvPath   = flag.String("csv", "", "serve rows from this CSV file instead of a synthetic dataset (schema inferred)")
+		n         = flag.Int("n", 50000, "number of tuples")
+		m         = flag.Int("m", 12, "attributes (boolean/zipf datasets)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		k         = flag.Int("k", 1000, "top-k display limit")
+		counts    = flag.String("counts", "none", "count reporting: none | exact | approx")
+		noise     = flag.Float64("noise", 0.3, "max relative error of approximate counts")
+		rate      = flag.Float64("rate", 0, "per-client queries/sec (0 = unlimited)")
+		burst     = flag.Int("burst", 10, "rate-limit burst")
+		budget    = flag.Int64("budget", 0, "total query budget (0 = unlimited)")
+		maxBatch  = flag.Int("max-batch", 16, "max queries per /api/search/batch request")
+		pprofAddr = flag.String("pprof", "", "listen address for net/http/pprof profiling, e.g. localhost:6061 (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 	srv := webform.NewServer(db, webform.Options{RatePerSec: *rate, Burst: *burst, MaxBatch: *maxBatch})
+	pprofserve.Start("hiddendbd", *pprofAddr)
 	log.Printf("hiddendbd: serving %q (%d tuples, k=%d, counts=%s) on %s",
 		ds.Schema.Name, db.Size(), db.K(), mode, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))

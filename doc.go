@@ -50,5 +50,17 @@
 //	if err != nil { ... }
 //	tuples, stats, err := s.Draw(ctx, 200)
 //
+// # Performance
+//
+// The walk→history→exec→backend pipeline is allocation-free on its hot
+// path: queries carry a canonical signature (cached key + 64-bit hash)
+// computed once at construction, the history cache and execution layer
+// key their maps on that hash with full-key collision verification, the
+// simulated backend intersects posting lists on pooled scratch with
+// galloping cursors, and results share immutable tuple storage instead
+// of deep-cloning per layer (hiddendb.Result documents the read-only
+// convention). See README.md's "Performance" section for the design and
+// the measured before/after numbers.
+//
 // See examples/ for runnable programs and cmd/ for the CLI tools.
 package hdsampler

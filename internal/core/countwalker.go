@@ -42,6 +42,13 @@ type CountWalker struct {
 	attrs  []int
 	rng    *rand.Rand
 	stats  genCounters
+
+	// Scratch reused across walks and levels (a Generator runs on one
+	// goroutine): the shuffled attribute order, plus per-level weight and
+	// result buffers sized to the widest domain on first use.
+	orderBuf []int
+	weights  []float64
+	results  []*hiddendb.Result
 }
 
 // NewCountWalker builds the sampler, fetching the schema eagerly.
@@ -58,11 +65,12 @@ func NewCountWalker(ctx context.Context, conn formclient.Conn, cfg CountWalkerCo
 		cfg.MaxRestarts = 1000
 	}
 	return &CountWalker{
-		conn:   conn,
-		schema: schema,
-		cfg:    cfg,
-		attrs:  attrs,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		conn:     conn,
+		schema:   schema,
+		cfg:      cfg,
+		attrs:    attrs,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		orderBuf: make([]int, len(attrs)),
 	}, nil
 }
 
@@ -107,9 +115,9 @@ func (c *CountWalker) walkOnce(ctx context.Context) (*Candidate, int, error) {
 
 	order := c.attrs
 	if c.cfg.Order == OrderShuffle {
-		order = make([]int, len(c.attrs))
-		copy(order, c.attrs)
-		c.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		copy(c.orderBuf, c.attrs)
+		c.rng.Shuffle(len(c.orderBuf), func(i, j int) { c.orderBuf[i], c.orderBuf[j] = c.orderBuf[j], c.orderBuf[i] })
+		order = c.orderBuf
 	}
 
 	q := hiddendb.EmptyQuery()
@@ -136,8 +144,16 @@ func (c *CountWalker) walkOnce(ctx context.Context) (*Candidate, int, error) {
 
 	for depth, attr := range order {
 		dom := c.schema.DomainSize(attr)
-		weights := make([]float64, dom)
-		results := make([]*hiddendb.Result, dom)
+		if cap(c.weights) < dom {
+			c.weights = make([]float64, dom)
+			c.results = make([]*hiddendb.Result, dom)
+		}
+		weights := c.weights[:dom]
+		results := c.results[:dom]
+		for v := range dom {
+			weights[v] = 0
+			results[v] = nil
+		}
 		sum := 0.0
 		for v := 0; v < dom; v++ {
 			if c.cfg.UseParentCount && parentCount >= 0 && v == dom-1 {

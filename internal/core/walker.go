@@ -54,6 +54,15 @@ type Walker struct {
 	attrs  []int
 	rng    *rand.Rand
 	stats  genCounters
+
+	// orderBuf and predBuf are scratch reused across the up-to-MaxRestarts
+	// (default 100k) walks of a single candidate draw: the shuffled
+	// attribute order and the walk's predicates in canonical order. Both
+	// are sized to the attribute count at construction, so walks never
+	// grow them. A Walker is single-goroutine by contract (Generator), so
+	// plain fields suffice.
+	orderBuf []int
+	predBuf  []hiddendb.Predicate
 }
 
 // NewWalker builds a walker over conn, fetching the schema eagerly.
@@ -70,11 +79,13 @@ func NewWalker(ctx context.Context, conn formclient.Conn, cfg WalkerConfig) (*Wa
 		cfg.MaxRestarts = 100000
 	}
 	return &Walker{
-		conn:   conn,
-		schema: schema,
-		cfg:    cfg,
-		attrs:  attrs,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		conn:     conn,
+		schema:   schema,
+		cfg:      cfg,
+		attrs:    attrs,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		orderBuf: make([]int, len(attrs)),
+		predBuf:  make([]hiddendb.Predicate, 0, len(attrs)),
 	}, nil
 }
 
@@ -113,17 +124,21 @@ func (w *Walker) walkOnce(ctx context.Context) (*Candidate, int, error) {
 	w.stats.walks.Add(1)
 	order := w.attrs
 	if w.cfg.Order == OrderShuffle {
-		order = make([]int, len(w.attrs))
-		copy(order, w.attrs)
-		w.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		copy(w.orderBuf, w.attrs)
+		w.rng.Shuffle(len(w.orderBuf), func(i, j int) { w.orderBuf[i], w.orderBuf[j] = w.orderBuf[j], w.orderBuf[i] })
+		order = w.orderBuf
 	}
-	q := hiddendb.EmptyQuery()
+	preds := w.predBuf[:0]
 	pathProb := 1.0
 	queries := 0
 	for depth, attr := range order {
 		dom := w.schema.DomainSize(attr)
 		v := w.rng.Intn(dom)
-		q = q.With(attr, v)
+		preds = insertPred(preds, hiddendb.Predicate{Attr: attr, Value: v})
+		q, err := hiddendb.QueryFromSorted(preds)
+		if err != nil {
+			return nil, queries, err
+		}
 		pathProb /= float64(dom)
 
 		res, err := w.conn.Execute(ctx, q)
@@ -153,6 +168,20 @@ func (w *Walker) walkOnce(ctx context.Context) (*Candidate, int, error) {
 		// Overflow: extend the query with the next attribute.
 	}
 	return nil, queries, nil // unreachable: loop always returns
+}
+
+// insertPred inserts p into an attribute-sorted scratch slice, keeping it
+// in canonical order; the walk adds attributes in (possibly shuffled)
+// walk order, so the insertion point can be anywhere.
+func insertPred(preds []hiddendb.Predicate, p hiddendb.Predicate) []hiddendb.Predicate {
+	preds = append(preds, p)
+	i := len(preds) - 1
+	for i > 0 && preds[i-1].Attr > p.Attr {
+		preds[i] = preds[i-1]
+		i--
+	}
+	preds[i] = p
+	return preds
 }
 
 // pick selects one returned row uniformly and packages the candidate.

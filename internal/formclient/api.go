@@ -1,12 +1,11 @@
 package formclient
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"math"
-	"net/url"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -104,12 +103,8 @@ func (a *API) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, 
 	if err := q.ValidateAgainst(schema); err != nil {
 		return nil, err
 	}
-	params := url.Values{}
-	for _, p := range q.Preds() {
-		params.Set(schema.Attrs[p.Attr].Name, strconv.Itoa(p.Value))
-	}
 	u := a.http.base + "/api/search"
-	if enc := params.Encode(); enc != "" {
+	if enc := encodeQueryParams(schema, q); enc != "" {
 		u += "?" + enc
 	}
 	body, err := a.http.get(ctx, u)
@@ -170,21 +165,27 @@ func (a *API) ExecuteBatch(ctx context.Context, qs []hiddendb.Query) ([]*hiddend
 		return nil, err
 	}
 	req := wireBatch{Queries: make([]map[string]int, len(qs))}
+	size := len(`{"queries":[]}`) + 3*len(qs) // framing plus per-query braces/commas
 	for i, q := range qs {
 		if err := q.ValidateAgainst(schema); err != nil {
 			return nil, err
 		}
 		m := make(map[string]int, q.Len())
-		for _, p := range q.Preds() {
+		for p := range q.All() {
 			m[schema.Attrs[p.Attr].Name] = p.Value
+			size += len(schema.Attrs[p.Attr].Name) + 8 // "name":vv,
 		}
 		req.Queries[i] = m
 	}
-	payload, err := json.Marshal(req)
-	if err != nil {
+	// Encode into one buffer sized from the actual predicates, and ship
+	// its bytes without an intermediate string copy: batch bodies are
+	// built on every linger-window flush.
+	var buf bytes.Buffer
+	buf.Grow(size)
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
 		return nil, err
 	}
-	body, err := a.http.post(ctx, a.http.base+"/api/search/batch", "application/json", string(payload))
+	body, err := a.http.post(ctx, a.http.base+"/api/search/batch", "application/json", buf.Bytes())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package formclient
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -97,17 +98,18 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // get fetches a URL with rate-limit retries and returns the body.
 func (h *HTTP) get(ctx context.Context, u string) (string, error) {
-	return h.do(ctx, http.MethodGet, u, "", "")
+	return h.do(ctx, http.MethodGet, u, "", nil)
 }
 
 // post submits a payload with the same retry and politeness machinery.
-func (h *HTTP) post(ctx context.Context, u, contentType, payload string) (string, error) {
+func (h *HTTP) post(ctx context.Context, u, contentType string, payload []byte) (string, error) {
 	return h.do(ctx, http.MethodPost, u, contentType, payload)
 }
 
 // do performs one logical request with rate-limit retries and returns the
-// body.
-func (h *HTTP) do(ctx context.Context, method, u, contentType, payload string) (string, error) {
+// body. payload is borrowed for the call (each retry re-reads it), never
+// retained, so callers can hand over a reusable buffer's bytes.
+func (h *HTTP) do(ctx context.Context, method, u, contentType string, payload []byte) (string, error) {
 	var lastWait time.Duration
 	for attempt := 0; attempt < h.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -123,7 +125,7 @@ func (h *HTTP) do(ctx context.Context, method, u, contentType, payload string) (
 		}
 		var reqBody io.Reader
 		if method != http.MethodGet {
-			reqBody = strings.NewReader(payload)
+			reqBody = bytes.NewReader(payload)
 		}
 		req, err := http.NewRequestWithContext(ctx, method, u, reqBody)
 		if err != nil {
@@ -274,6 +276,28 @@ func parseRangeLabels(labels []string) ([]hiddendb.Bucket, bool) {
 	return buckets, true
 }
 
+// encodeQueryParams renders q as a URL query string ("make=1&cond=0") in
+// canonical predicate order, attribute names escaped. It iterates the
+// query's predicates in place and renders into one pre-sized builder —
+// no url.Values map, no predicate-list copy.
+func encodeQueryParams(schema *hiddendb.Schema, q hiddendb.Query) string {
+	if q.Len() == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.Grow(q.Len() * 16)
+	for i := 0; i < q.Len(); i++ {
+		p := q.Pred(i)
+		if i > 0 {
+			sb.WriteByte('&')
+		}
+		sb.WriteString(url.QueryEscape(schema.Attrs[p.Attr].Name))
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(p.Value))
+	}
+	return sb.String()
+}
+
 // Execute implements Conn: it submits the query as form parameters and
 // scrapes the result page.
 func (h *HTTP) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
@@ -284,12 +308,8 @@ func (h *HTTP) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result,
 	if err := q.ValidateAgainst(schema); err != nil {
 		return nil, err
 	}
-	params := url.Values{}
-	for _, p := range q.Preds() {
-		params.Set(schema.Attrs[p.Attr].Name, strconv.Itoa(p.Value))
-	}
 	u := h.base + "/search"
-	if enc := params.Encode(); enc != "" {
+	if enc := encodeQueryParams(schema, q); enc != "" {
 		u += "?" + enc
 	}
 	body, err := h.get(ctx, u)

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -80,7 +81,19 @@ type DB struct {
 	// ascending, so intersections stream out in rank order.
 	postings [][][]int32
 
+	// scratch pools per-Execute intersection state (posting-list views,
+	// galloping cursors, match buffer) so the hot path allocates nothing
+	// beyond the Result it returns.
+	scratch sync.Pool
+
 	queries atomic.Int64
+}
+
+// matchScratch is the reusable per-Execute intersection state.
+type matchScratch struct {
+	lists   [][]int32
+	cursors []int
+	out     []int32
 }
 
 // New builds a DB over the given tuples. Tuples are validated against the
@@ -103,6 +116,7 @@ func New(schema *Schema, tuples []Tuple, ranker Ranker, cfg Config) (*DB, error)
 		return nil, fmt.Errorf("hiddendb: CountNoise %g outside [0,1)", cfg.CountNoise)
 	}
 	db := &DB{schema: schema, cfg: cfg, ranker: ranker, tuples: tuples}
+	db.scratch.New = func() any { return new(matchScratch) }
 	m := len(schema.Attrs)
 	for i := range db.tuples {
 		t := &db.tuples[i]
@@ -191,6 +205,10 @@ func (db *DB) ResetBudget() { db.queries.Store(0) }
 // Execute answers one conjunctive query through the restricted interface:
 // the top-k matches in rank order, the overflow flag, and a count according
 // to the configured CountMode. This is the only read path a client has.
+//
+// The returned tuples share the database's immutable backing storage —
+// callers must treat Result.Tuples as read-only and Clone tuples they
+// intend to own (see Result's documentation).
 func (db *DB) Execute(q Query) (*Result, error) {
 	if err := q.ValidateAgainst(db.schema); err != nil {
 		return nil, err
@@ -199,7 +217,12 @@ func (db *DB) Execute(q Query) (*Result, error) {
 	if db.cfg.QueryBudget > 0 && n > db.cfg.QueryBudget {
 		return nil, ErrBudgetExhausted
 	}
-	matchPos, total := db.matchPositions(q, db.cfg.K+1)
+	sc := db.scratch.Get().(*matchScratch)
+	// Count-reporting interfaces need the exact total: compute it in the
+	// same intersection pass instead of re-deriving the whole intersection
+	// afterwards. Count-free interfaces stop scanning at K+1.
+	needTotal := db.cfg.CountMode != CountNone
+	matchPos, total := db.matchPositions(sc, q, db.cfg.K+1, needTotal)
 	res := &Result{Count: CountAbsent}
 	if total > db.cfg.K {
 		res.Overflow = true
@@ -207,100 +230,131 @@ func (db *DB) Execute(q Query) (*Result, error) {
 	}
 	res.Tuples = make([]Tuple, len(matchPos))
 	for i, pos := range matchPos {
-		res.Tuples[i] = db.tuples[db.byRank[pos]].Clone()
+		res.Tuples[i] = db.tuples[db.byRank[pos]]
 	}
 	switch db.cfg.CountMode {
 	case CountExact:
-		res.Count = db.exactCount(q, total)
+		res.Count = total
 	case CountApprox:
 		res.Count = db.approxCount(q, total)
 	}
+	db.scratch.Put(sc)
 	return res, nil
 }
 
-// matchPositions returns the first limit matching rank positions in rank
-// order, plus the total number found while scanning (capped at limit, so
-// total > K iff there are more than K matches when limit = K+1). When the
-// count mode needs exact totals, exactCount re-derives them.
-func (db *DB) matchPositions(q Query, limit int) (pos []int32, total int) {
-	preds := q.Preds()
-	if len(preds) == 0 {
-		n := len(db.tuples)
+// matchPositions intersects the query's posting lists into sc.out: the
+// first limit matching rank positions in rank order. When needTotal is
+// set, the scan continues past limit (appending nothing further) so total
+// is the exact match count; otherwise total stops at limit, which still
+// decides overflow when limit = K+1.
+//
+// The intersection is seeded from the shortest list and galloped: each
+// longer list keeps a monotone cursor advanced by exponential probing plus
+// binary search over the bracketed window, so a candidate costs O(log gap)
+// rather than a fresh O(log n) binary search — and an exhausted list ends
+// the whole scan early, since no later candidate can match.
+func (db *DB) matchPositions(sc *matchScratch, q Query, limit int, needTotal bool) (pos []int32, total int) {
+	d := q.Len()
+	if d == 0 {
+		total = len(db.tuples)
+		n := total
 		if n > limit {
 			n = limit
 		}
-		out := make([]int32, n)
-		for i := range out {
-			out[i] = int32(i)
+		out := sc.out[:0]
+		for i := 0; i < n; i++ {
+			out = append(out, int32(i))
 		}
-		return out, n
+		sc.out = out
+		return out, total
 	}
-	// Intersect posting lists, seeded from the shortest.
-	lists := make([][]int32, len(preds))
-	for i, p := range preds {
-		lists[i] = db.postings[p.Attr][p.Value]
+	lists := sc.lists[:0]
+	for i := 0; i < d; i++ {
+		p := q.Pred(i)
+		lists = append(lists, db.postings[p.Attr][p.Value])
 	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	out := make([]int32, 0, min(limit, len(lists[0])))
+	// Shortest list first. d is tiny (bounded by the schema width), so an
+	// in-place insertion sort beats sort.Slice and its closure allocation.
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
+	sc.lists = lists
+	cursors := sc.cursors[:0]
+	for range lists {
+		cursors = append(cursors, 0)
+	}
+	sc.cursors = cursors
+	out := sc.out[:0]
 outer:
-	for _, candidate := range lists[0] {
-		for _, l := range lists[1:] {
-			if !containsSorted(l, candidate) {
+	for _, cand := range lists[0] {
+		for j := 1; j < len(lists); j++ {
+			l := lists[j]
+			k := gallop(l, cursors[j], cand)
+			cursors[j] = k
+			if k == len(l) {
+				break outer // list exhausted: nothing later can match
+			}
+			if l[k] != cand {
 				continue outer
 			}
 		}
-		out = append(out, candidate)
-		if len(out) >= limit {
+		total++
+		if len(out) < limit {
+			out = append(out, cand)
+		}
+		if !needTotal && total >= limit {
 			break
 		}
 	}
-	return out, len(out)
+	sc.out = out
+	return out, total
 }
 
-// containsSorted reports whether x occurs in the ascending slice l.
-func containsSorted(l []int32, x int32) bool {
-	i := sort.Search(len(l), func(i int) bool { return l[i] >= x })
-	return i < len(l) && l[i] == x
+// gallop returns the smallest index i in [lo, len(l)] with l[i] >= x,
+// assuming l ascending. It probes exponentially from lo, then binary
+// searches the bracketed window, so advancing a cursor over a small gap is
+// O(log gap) with mostly-local memory accesses.
+func gallop(l []int32, lo int, x int32) int {
+	if lo >= len(l) || l[lo] >= x {
+		return lo
+	}
+	step := 1
+	for lo+step < len(l) && l[lo+step] < x {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(l) {
+		hi = len(l)
+	}
+	// Invariant: l[lo] < x, and hi == len(l) or l[hi] >= x.
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid] < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }
 
 // TrueCount returns the exact number of tuples matching q, bypassing the
 // interface; experiments use it for ground truth, never the samplers.
 func (db *DB) TrueCount(q Query) int {
-	preds := q.Preds()
-	if len(preds) == 0 {
-		return len(db.tuples)
-	}
-	lists := make([][]int32, len(preds))
-	for i, p := range preds {
-		lists[i] = db.postings[p.Attr][p.Value]
-	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	count := 0
-outer:
-	for _, candidate := range lists[0] {
-		for _, l := range lists[1:] {
-			if !containsSorted(l, candidate) {
-				continue outer
-			}
-		}
-		count++
-	}
-	return count
-}
-
-func (db *DB) exactCount(q Query, scanned int) int {
-	if scanned <= db.cfg.K { // scan already saw everything
-		return scanned
-	}
-	return db.TrueCount(q)
+	sc := db.scratch.Get().(*matchScratch)
+	_, total := db.matchPositions(sc, q, 0, true)
+	db.scratch.Put(sc)
+	return total
 }
 
 // approxCount perturbs the exact count by a deterministic multiplicative
 // factor in [1-noise, 1+noise] derived from the query key, modelling a
 // fixed proprietary estimator. Zero counts stay zero (sites say "no
 // results" reliably).
-func (db *DB) approxCount(q Query, scanned int) int {
-	exact := db.exactCount(q, scanned)
+func (db *DB) approxCount(q Query, exact int) int {
 	if exact == 0 || db.cfg.CountNoise == 0 {
 		return exact
 	}
@@ -308,7 +362,7 @@ func (db *DB) approxCount(q Query, scanned int) int {
 	var seed [8]byte
 	putUint64(seed[:], db.cfg.NoiseSeed)
 	h.Write(seed[:])
-	h.Write([]byte(q.Key()))
+	h.Write([]byte(q.Key()))                     // cached canonical key: no per-query rebuild
 	u := float64(h.Sum64()>>11) / float64(1<<53) // uniform [0,1)
 	factor := 1 + db.cfg.CountNoise*(2*u-1)
 	est := int(math.Round(float64(exact) * factor))

@@ -234,12 +234,16 @@ func TestTrueAggregate(t *testing.T) {
 }
 
 func TestTupleCloneIndependence(t *testing.T) {
+	// Execute shares the database's immutable tuple storage (see Result's
+	// docs): Clone is the sanctioned way to obtain mutable ownership, and
+	// a Clone must be fully detached from the backing store.
 	db := fig1DB(t, 4)
 	res := mustExec(t, db, EmptyQuery())
-	res.Tuples[0].Vals[0] = 99
+	c := res.Tuples[0].Clone()
+	c.Vals[0] = 99
 	res2 := mustExec(t, db, EmptyQuery())
 	if res2.Tuples[0].Vals[0] == 99 {
-		t.Fatal("Execute returned shared tuple storage")
+		t.Fatal("Clone mutated shared tuple storage")
 	}
 	tu := db.Tuple(0)
 	tu.Vals[0] = 42

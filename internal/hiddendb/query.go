@@ -2,6 +2,7 @@ package hiddendb
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"strconv"
 	"strings"
@@ -18,8 +19,77 @@ type Predicate struct {
 // conjunctive web form interface supports. Predicates are kept sorted by
 // attribute index with at most one predicate per attribute, which gives
 // every query a unique canonical form.
+//
+// A query carries its canonical signature — the Key string and a 64-bit
+// Hash — computed once at construction, so the history cache and the
+// execution layer key their maps without rebuilding strings per lookup.
+// Queries are immutable; the zero value is the empty (unconstrained)
+// query.
 type Query struct {
 	preds []Predicate
+	key   string
+	hash  uint64
+}
+
+// FNV-1a parameters for the signature hash. The hash folds in the raw
+// attribute/value integers (not the key bytes), so scratch signatures can
+// be accumulated predicate-by-predicate without rendering digits.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// hashPred folds one predicate into a running signature hash. Callers
+// seeding a scratch hash start from fnv64Offset (see AppendKeyWithout).
+func hashPred(h uint64, p Predicate) uint64 {
+	h ^= uint64(uint32(p.Attr))
+	h *= fnv64Prime
+	h ^= uint64(uint32(p.Value))
+	h *= fnv64Prime
+	return h
+}
+
+// intLen returns the rendered decimal width of x.
+func intLen(x int) int {
+	n := 1
+	if x < 0 {
+		n++
+		x = -x
+	}
+	for x >= 10 {
+		x /= 10
+		n++
+	}
+	return n
+}
+
+// finalize computes the canonical signature from the (sorted, deduplicated)
+// predicate list. The empty query's signature is ("", 0), matching the
+// zero-value Query so literal Query{} values stay canonical.
+func (q *Query) finalize() {
+	if len(q.preds) == 0 {
+		q.key, q.hash = "", 0
+		return
+	}
+	size := len(q.preds) * 2 // '=' per predicate, '&' separators plus one spare
+	for _, p := range q.preds {
+		size += intLen(p.Attr) + intLen(p.Value)
+	}
+	var b strings.Builder
+	b.Grow(size)
+	var tmp [20]byte
+	h := fnv64Offset
+	for i, p := range q.preds {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.Write(strconv.AppendInt(tmp[:0], int64(p.Attr), 10))
+		b.WriteByte('=')
+		b.Write(strconv.AppendInt(tmp[:0], int64(p.Value), 10))
+		h = hashPred(h, p)
+	}
+	q.key = b.String()
+	q.hash = h
 }
 
 // NewQuery builds a query from predicates. It returns an error when an
@@ -32,6 +102,7 @@ func NewQuery(preds ...Predicate) (Query, error) {
 			return Query{}, fmt.Errorf("hiddendb: duplicate predicate on attribute %d", q.preds[i].Attr)
 		}
 	}
+	q.finalize()
 	return q, nil
 }
 
@@ -44,13 +115,45 @@ func MustQuery(preds ...Predicate) Query {
 	return q
 }
 
+// QueryFromSorted builds a query from predicates already in canonical
+// order (strictly ascending attribute indexes). The slice is copied, so
+// callers may keep appending to a reused scratch buffer — the walker's
+// per-step construction path. It returns an error when the order is not
+// strictly ascending.
+func QueryFromSorted(preds []Predicate) (Query, error) {
+	for i := 1; i < len(preds); i++ {
+		if preds[i].Attr <= preds[i-1].Attr {
+			return Query{}, fmt.Errorf("hiddendb: predicates not in strict canonical order at index %d", i)
+		}
+	}
+	q := Query{preds: append([]Predicate(nil), preds...)}
+	q.finalize()
+	return q, nil
+}
+
 // EmptyQuery returns the unconstrained query (SELECT *).
 func EmptyQuery() Query { return Query{} }
 
 // Len returns the number of predicates.
 func (q Query) Len() int { return len(q.preds) }
 
-// Preds returns a copy of the predicate list in canonical order.
+// Pred returns the i-th predicate in canonical order, without copying the
+// predicate list. Use with Len for zero-allocation iteration.
+func (q Query) Pred(i int) Predicate { return q.preds[i] }
+
+// All iterates the predicates in canonical order without copying.
+func (q Query) All() iter.Seq[Predicate] {
+	return func(yield func(Predicate) bool) {
+		for _, p := range q.preds {
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// Preds returns a copy of the predicate list in canonical order. Hot paths
+// should iterate via Len/Pred or All instead of paying for the copy.
 func (q Query) Preds() []Predicate { return append([]Predicate(nil), q.preds...) }
 
 // Value returns the value constrained for attribute attr and whether the
@@ -88,19 +191,26 @@ func (q Query) With(attr, value int) Query {
 	if !inserted {
 		np = append(np, Predicate{attr, value})
 	}
-	return Query{preds: np}
+	nq := Query{preds: np}
+	nq.finalize()
+	return nq
 }
 
 // Without returns a copy of the query with the predicate on attr removed.
 // Removing an unconstrained attribute is a no-op.
 func (q Query) Without(attr int) Query {
-	np := make([]Predicate, 0, len(q.preds))
+	if !q.HasAttr(attr) {
+		return q
+	}
+	np := make([]Predicate, 0, len(q.preds)-1)
 	for _, p := range q.preds {
 		if p.Attr != attr {
 			np = append(np, p)
 		}
 	}
-	return Query{preds: np}
+	nq := Query{preds: np}
+	nq.finalize()
+	return nq
 }
 
 // Matches reports whether tuple values vals satisfy every predicate.
@@ -131,21 +241,67 @@ func (q Query) Contains(o Query) bool {
 
 // Key returns the canonical string form "a=v&a=v&..." with attributes in
 // increasing order: equal queries always produce equal keys, which the
-// history cache uses for memoization.
-func (q Query) Key() string {
-	if len(q.preds) == 0 {
-		return ""
-	}
-	var b strings.Builder
-	for i, p := range q.preds {
-		if i > 0 {
-			b.WriteByte('&')
+// history cache uses for memoization. The key is computed once at
+// construction; Key itself is O(1) and allocation-free.
+func (q Query) Key() string { return q.key }
+
+// Hash returns the query's 64-bit FNV-1a signature hash, computed once at
+// construction. Equal queries always hash equally; the history cache and
+// execution layer shard and key their maps on it, verifying the full Key
+// on the (vanishingly rare) collision.
+func (q Query) Hash() uint64 { return q.hash }
+
+// AppendKeyWithout appends to dst the canonical key of q with the
+// predicate on attr removed, returning the extended buffer and the removed
+// query's signature hash. It lets the history cache probe a parent query's
+// cache slot without allocating a Query (dst is a reusable scratch
+// buffer). When attr is unconstrained the result equals q's own signature.
+func (q Query) AppendKeyWithout(dst []byte, attr int) ([]byte, uint64) {
+	h := fnv64Offset
+	n := 0
+	for _, p := range q.preds {
+		if p.Attr == attr {
+			continue
 		}
-		b.WriteString(strconv.Itoa(p.Attr))
-		b.WriteByte('=')
-		b.WriteString(strconv.Itoa(p.Value))
+		if n > 0 {
+			dst = append(dst, '&')
+		}
+		dst = strconv.AppendInt(dst, int64(p.Attr), 10)
+		dst = append(dst, '=')
+		dst = strconv.AppendInt(dst, int64(p.Value), 10)
+		h = hashPred(h, p)
+		n++
 	}
-	return b.String()
+	if n == 0 {
+		return dst, 0
+	}
+	return dst, h
+}
+
+// AppendKeyReplace appends to dst the canonical key of q with attr's value
+// replaced by value, returning the extended buffer and the replaced
+// query's signature hash — the sibling-probe companion of
+// AppendKeyWithout. attr must already be constrained by q; replacing an
+// unconstrained attribute panics, as that would silently change the
+// query's shape.
+func (q Query) AppendKeyReplace(dst []byte, attr, value int) ([]byte, uint64) {
+	if !q.HasAttr(attr) {
+		panic(fmt.Sprintf("hiddendb: AppendKeyReplace of unconstrained attribute %d", attr))
+	}
+	h := fnv64Offset
+	for i, p := range q.preds {
+		if p.Attr == attr {
+			p.Value = value
+		}
+		if i > 0 {
+			dst = append(dst, '&')
+		}
+		dst = strconv.AppendInt(dst, int64(p.Attr), 10)
+		dst = append(dst, '=')
+		dst = strconv.AppendInt(dst, int64(p.Value), 10)
+		h = hashPred(h, p)
+	}
+	return dst, h
 }
 
 // ParseQueryKey parses a canonical key back into a Query; it is the inverse

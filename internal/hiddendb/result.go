@@ -38,8 +38,15 @@ func (t *Tuple) Clone() Tuple {
 const CountAbsent = -1
 
 // Result is the interface's answer to one conjunctive query.
+//
+// Results are immutable by convention: producers (the in-process DB, the
+// history cache, the execution layer) may hand the same tuples — or the
+// same Result — to many readers, with Vals/Nums aliasing shared backing
+// storage. Treat everything reachable from a Result as read-only; Clone a
+// tuple (or the whole Result) to obtain mutable ownership.
 type Result struct {
 	// Tuples holds the top-k matching tuples in rank order; at most k.
+	// May alias shared immutable storage: read-only.
 	Tuples []Tuple
 	// Overflow is the interface's "not all qualifying tuples are shown"
 	// notification: more than k tuples matched.

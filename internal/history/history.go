@@ -21,15 +21,23 @@
 //
 // The cache is safe for heavy concurrent use — the daemon shares one per
 // target host across every job's worker pool — and is built not to
-// serialize those workers:
+// serialize those workers, nor to allocate on its hottest paths:
 //
-//   - Entries live in hash shards, each guarded by its own RWMutex, so
-//     parallel exact-repeat hits (rule 1, the hottest path) proceed
-//     without contention. Entries are immutable once stored.
+//   - Entries live in hash shards keyed by the query's precomputed 64-bit
+//     signature (hiddendb.Query.Hash): shard selection and map probes cost
+//     no hashing or string building, and the rare signature collision is
+//     resolved by a full canonical-key comparison along a short chain.
+//     Each shard is guarded by its own RWMutex, so parallel exact-repeat
+//     hits (rule 1, the hottest path) proceed without contention. Entries
+//     are immutable once stored, and cache hits share an entry's tuple
+//     rows rather than cloning them (Results are read-only by convention).
 //   - Ancestor lookup (rules 2–3) goes through a subset trie over the
 //     canonical predicate order instead of enumerating all 2^d predicate
 //     subsets: the walk visits only trie paths that are subsets of the
 //     query, so a deep query costs O(d·matches), not O(2^d) map probes.
+//   - Sibling-count probes (rule 4) render scratch signatures into a
+//     pooled buffer instead of allocating a Query per probed parent and
+//     sibling.
 //   - Statistics are atomic counters, readable from any goroutine.
 //
 // When MaxEntries caps the cache, a per-shard CLOCK (second-chance)
@@ -45,7 +53,6 @@ package history
 
 import (
 	"context"
-	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
@@ -106,7 +113,6 @@ type Cache struct {
 	schemaMu sync.Mutex // serializes the initial schema fetch
 	schema   atomic.Pointer[hiddendb.Schema]
 
-	seed   maphash.Seed
 	shards []shard
 	mask   uint64
 
@@ -121,15 +127,17 @@ type Cache struct {
 }
 
 // entry stores one observed or derived answer. Overflow entries keep no
-// tuples unless pinned. All fields except the CLOCK reference bit and the
-// ring slot are immutable after the entry is published, which is what
-// lets readers use an entry after dropping the shard lock.
+// tuples unless pinned. All fields except the CLOCK reference bit, the
+// ring slot, and the collision-chain link are immutable after the entry
+// is published (the mutable three change only under the shard lock),
+// which is what lets readers use an entry after dropping it.
 type entry struct {
-	key      string
-	preds    []hiddendb.Predicate
+	q        hiddendb.Query // canonical query; carries cached Key and Hash
+	hash     uint64         // q.Hash(), denormalized for chain bookkeeping
+	next     *entry         // signature-collision chain within a shard slot
 	overflow bool
 	count    int              // interface-reported count (CountAbsent if none)
-	tuples   []hiddendb.Tuple // nil for row-less overflow entries
+	tuples   []hiddendb.Tuple // nil for row-less overflow entries; shared, read-only
 
 	pinned  bool // fully-specified overflow: never evicted
 	indexed bool // complete answer: present in the ancestor trie
@@ -137,6 +145,10 @@ type entry struct {
 	ref  atomic.Bool // CLOCK reference bit, set on every touch
 	slot int         // position in the shard's eviction ring; -1 when absent
 }
+
+// keyScratch pools the buffers sibling-count probes render scratch
+// signatures into.
+var keyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
 
 // New wraps inner with a history cache.
 func New(inner formclient.Conn, opts Options) *Cache {
@@ -154,19 +166,18 @@ func New(inner formclient.Conn, opts Options) *Cache {
 	c := &Cache{
 		inner:  inner,
 		opts:   opts,
-		seed:   maphash.MakeSeed(),
 		shards: make([]shard, pow),
 		mask:   uint64(pow - 1),
 	}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[string]*entry)
+		c.shards[i].entries = make(map[uint64]*entry)
 	}
 	return c
 }
 
-// shardFor maps a canonical query key onto its shard.
-func (c *Cache) shardFor(key string) *shard {
-	return &c.shards[maphash.String(c.seed, key)&c.mask]
+// shardFor maps a query signature hash onto its shard.
+func (c *Cache) shardFor(hash uint64) *shard {
+	return &c.shards[hash&c.mask]
 }
 
 // Schema implements formclient.Conn.
@@ -207,7 +218,7 @@ func (c *Cache) Len() int {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.RLock()
-		total += len(sh.entries)
+		total += sh.size()
 		sh.mu.RUnlock()
 	}
 	return total
@@ -219,18 +230,19 @@ func (c *Cache) ShardStats() []ShardStat {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.RLock()
-		out[i] = ShardStat{Entries: len(sh.entries), Protected: sh.protected}
+		out[i] = ShardStat{Entries: sh.size(), Protected: sh.protected}
 		sh.mu.RUnlock()
 	}
 	return out
 }
 
-// lookup returns the entry for a canonical key, touching its CLOCK bit.
-// The entry is immutable, so using it after the lock is dropped is safe.
-func (c *Cache) lookup(key string) *entry {
-	sh := c.shardFor(key)
+// lookupScratch probes a cache slot by a scratch-built signature (hash
+// plus key bytes), touching the CLOCK bit on a hit. The entry is immutable,
+// so using it after the lock is dropped is safe.
+func (c *Cache) lookupScratch(hash uint64, key []byte) *entry {
+	sh := c.shardFor(hash)
 	sh.mu.RLock()
-	e := sh.entries[key]
+	e := sh.getBytes(hash, key)
 	sh.mu.RUnlock()
 	if e != nil {
 		e.ref.Store(true)
@@ -244,24 +256,23 @@ func (c *Cache) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result
 	if err != nil {
 		return nil, err
 	}
-	key := q.Key()
 
 	// Rule 1: exact repeat. Shared (read) lock only — parallel workers
-	// replaying hot queries never serialize here.
-	sh := c.shardFor(key)
+	// replaying hot queries never serialize here — and the precomputed
+	// signature means no hashing or string building on the hit path.
+	sh := c.shardFor(q.Hash())
 	sh.mu.RLock()
-	if e, ok := sh.entries[key]; ok {
-		res := e.result()
-		sh.mu.RUnlock()
+	e := sh.get(q.Hash(), q.Key())
+	sh.mu.RUnlock()
+	if e != nil {
 		e.ref.Store(true)
 		c.exactHits.Add(1)
-		return res, nil
+		return e.result(), nil
 	}
-	sh.mu.RUnlock()
 
 	if res := c.infer(schema, q); res != nil {
 		c.inferred.Add(1)
-		c.store(key, q, res, !res.Overflow)
+		c.store(q, res, !res.Overflow)
 		return res, nil
 	}
 
@@ -274,18 +285,15 @@ func (c *Cache) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result
 	// those rows unreachable on cache hits.
 	keepRows := !res.Overflow || q.Len() == schema.NumAttrs()
 	c.issued.Add(1)
-	c.store(key, q, res, keepRows)
+	c.store(q, res, keepRows)
 	return res, nil
 }
 
-// result materializes an entry as a fresh Result.
+// result materializes an entry as a Result. The rows are shared with the
+// immutable entry, per the Result read-only convention — a rule-1 hit
+// costs one allocation, not a deep copy of up to k tuples.
 func (e *entry) result() *hiddendb.Result {
-	res := &hiddendb.Result{Overflow: e.overflow, Count: e.count}
-	res.Tuples = make([]hiddendb.Tuple, len(e.tuples))
-	for i := range e.tuples {
-		res.Tuples[i] = e.tuples[i].Clone()
-	}
-	return res
+	return &hiddendb.Result{Overflow: e.overflow, Count: e.count, Tuples: e.tuples}
 }
 
 // store publishes an answer: the entry joins its shard (and, when it is a
@@ -293,11 +301,13 @@ func (e *entry) result() *hiddendb.Result {
 // enforced. keepRows controls whether the visible rows are retained
 // (always for complete answers, never for intermediate overflow pages,
 // and for fully-specified overflow pages whose duplicates have no other
-// access path — those are pinned against eviction).
-func (c *Cache) store(key string, q hiddendb.Query, res *hiddendb.Result, keepRows bool) {
+// access path — those are pinned against eviction). Retained rows are
+// shared with the result, not cloned: entries and Results are both
+// immutable by convention.
+func (c *Cache) store(q hiddendb.Query, res *hiddendb.Result, keepRows bool) {
 	e := &entry{
-		key:      key,
-		preds:    q.Preds(),
+		q:        q,
+		hash:     q.Hash(),
 		overflow: res.Overflow,
 		count:    res.Count,
 		pinned:   res.Overflow && keepRows,
@@ -305,10 +315,7 @@ func (c *Cache) store(key string, q hiddendb.Query, res *hiddendb.Result, keepRo
 		slot:     -1,
 	}
 	if keepRows {
-		e.tuples = make([]hiddendb.Tuple, len(res.Tuples))
-		for i := range res.Tuples {
-			e.tuples[i] = res.Tuples[i].Clone()
-		}
+		e.tuples = res.Tuples
 	}
 
 	// Map and trie must change together under the shard lock: with the
@@ -316,10 +323,9 @@ func (c *Cache) store(key string, q hiddendb.Query, res *hiddendb.Result, keepRo
 	// losing entry's removal deletes the winner's trie terminal (or
 	// leaves a stale one). Lock order is always shard → trie; no path
 	// acquires a shard lock while holding the trie lock.
-	sh := c.shardFor(key)
+	sh := c.shardFor(e.hash)
 	sh.mu.Lock()
-	old := sh.entries[key]
-	sh.entries[key] = e
+	old := sh.put(e)
 	if old != nil {
 		if old.slot >= 0 {
 			sh.unlink(old)
@@ -337,13 +343,13 @@ func (c *Cache) store(key string, q hiddendb.Query, res *hiddendb.Result, keepRo
 		c.evictable.Add(1)
 	}
 	if e.indexed {
-		c.idx.insert(e.preds, e)
+		c.idx.insert(e.q, e)
 	}
 	if old != nil && old.indexed {
 		// No-op when the new entry already replaced it at the same trie
 		// node; removes a stale terminal when the answer flipped to
 		// overflow (interface drift).
-		c.idx.remove(old.preds, old)
+		c.idx.remove(old.q, old)
 	}
 	sh.mu.Unlock()
 
@@ -370,7 +376,7 @@ func (c *Cache) enforceCap() {
 		c.evictable.Add(-1)
 		c.evictions.Add(1)
 		if victim.indexed {
-			c.idx.remove(victim.preds, victim)
+			c.idx.remove(victim.q, victim)
 		}
 	}
 }
@@ -378,19 +384,19 @@ func (c *Cache) enforceCap() {
 // infer attempts rules 2-4 without holding any shard lock. Returns nil
 // when the answer cannot be derived.
 func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Result {
-	preds := q.Preds()
-	d := len(preds)
+	d := q.Len()
 	if d == 0 || d > c.opts.MaxInferDepth {
 		return nil
 	}
 	// Rules 2/3: find the deepest complete ancestor in the subset trie
 	// (deepest = fewest tuples to filter) and filter its rows locally.
-	if anc := c.idx.bestAncestor(preds); anc != nil {
+	// Surviving rows are shared with the (immutable) ancestor entry.
+	if anc := c.idx.bestAncestor(q); anc != nil {
 		anc.ref.Store(true)
 		res := &hiddendb.Result{}
 		for i := range anc.tuples {
 			if q.Matches(anc.tuples[i].Vals) {
-				res.Tuples = append(res.Tuples, anc.tuples[i].Clone())
+				res.Tuples = append(res.Tuples, anc.tuples[i])
 			}
 		}
 		// A complete ancestor shows every match, so filtering pins the
@@ -399,7 +405,7 @@ func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Resul
 		return res
 	}
 	if c.opts.TrustCounts {
-		if res := c.inferFromSiblingCounts(schema, q, preds); res != nil {
+		if res := c.inferFromSiblingCounts(schema, q); res != nil {
 			return res
 		}
 	}
@@ -412,10 +418,19 @@ func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Resul
 // (count > k, unknown rows) outcomes can be fabricated without rows; a
 // pinned small positive count still needs a real query for its tuples, so
 // we return nil then.
-func (c *Cache) inferFromSiblingCounts(schema *hiddendb.Schema, q hiddendb.Query, preds []hiddendb.Predicate) *hiddendb.Result {
-	for _, p := range preds {
-		parent := q.Without(p.Attr)
-		pe := c.lookup(parent.Key())
+//
+// Parent and sibling probes render scratch signatures (hash + key bytes)
+// into a pooled buffer instead of materializing a Query per probe — a
+// deep query over wide domains probes d·|dom| siblings, and building a
+// predicate list and canonical key for each dominated this path's cost.
+func (c *Cache) inferFromSiblingCounts(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Result {
+	bufp := keyScratch.Get().(*[]byte)
+	defer keyScratch.Put(bufp)
+	for i := 0; i < q.Len(); i++ {
+		p := q.Pred(i)
+		buf, ph := q.AppendKeyWithout((*bufp)[:0], p.Attr)
+		*bufp = buf
+		pe := c.lookupScratch(ph, buf)
 		if pe == nil || pe.count == hiddendb.CountAbsent {
 			continue
 		}
@@ -425,7 +440,9 @@ func (c *Cache) inferFromSiblingCounts(schema *hiddendb.Schema, q hiddendb.Query
 			if v == p.Value {
 				continue
 			}
-			se := c.lookup(parent.With(p.Attr, v).Key())
+			sbuf, sh := q.AppendKeyReplace((*bufp)[:0], p.Attr, v)
+			*bufp = sbuf
+			se := c.lookupScratch(sh, sbuf)
 			if se == nil || se.count == hiddendb.CountAbsent {
 				complete = false
 				break

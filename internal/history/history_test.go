@@ -470,7 +470,11 @@ func TestDumpRestoreWarmStart(t *testing.T) {
 	}
 }
 
-func TestCacheReturnsClones(t *testing.T) {
+func TestCacheSharesImmutableRows(t *testing.T) {
+	// Cache hits share the entry's tuple rows (Results are read-only by
+	// convention): repeated hits must return identical rows without the
+	// per-hit deep copies the cache used to pay for, and Clone must hand
+	// a caller detached storage.
 	ds := datagen.IIDBoolean(4, 20, 0.5, 7)
 	_, _, cache := newCachedConn(t, ds, 50, hiddendb.CountNone, Options{})
 	ctx := context.Background()
@@ -482,13 +486,17 @@ func TestCacheReturnsClones(t *testing.T) {
 	if len(r1.Tuples) == 0 {
 		t.Skip("unlucky seed: empty result")
 	}
-	r1.Tuples[0].Vals[0] = 99
+	c := r1.Tuples[0].Clone()
+	c.Vals[0] = 99
 	r2, err := cache.Execute(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r2.Tuples[0].Vals[0] == 99 {
-		t.Fatal("cache storage aliased by caller mutation")
+		t.Fatal("Clone aliased cache storage")
+	}
+	if len(r2.Tuples) != len(r1.Tuples) || r2.Tuples[0].ID != r1.Tuples[0].ID {
+		t.Fatal("replayed rows differ from the original answer")
 	}
 }
 

@@ -3,15 +3,100 @@ package history
 import "sync"
 
 // shard is one hash partition of the entry map plus its CLOCK eviction
-// ring. The ring holds only evictable entries; pinned entries live in the
-// map alone and can never become victims.
+// ring. Entries are keyed by their query's 64-bit signature hash; the
+// (vanishingly rare) queries whose signatures collide share a slot as a
+// short linked chain, and every probe verifies the full canonical key, so
+// a collision costs a pointer hop, never a wrong answer. The ring holds
+// only evictable entries; pinned entries live in the map alone and can
+// never become victims.
 type shard struct {
 	mu        sync.RWMutex
-	entries   map[string]*entry
+	entries   map[uint64]*entry
+	n         int      // resident entries, chains included (occupancy in O(1))
 	ring      []*entry // CLOCK ring over evictable entries
 	hand      int      // next ring position the clock hand inspects
 	protected int      // pinned entries resident in this shard
 }
+
+// get returns the entry with the given signature, walking the collision
+// chain and verifying the full key. The caller holds sh.mu. The chain
+// discipline mirrors queryexec's findCall/removeCall (internal/queryexec/
+// exec.go) — a change to either unlink path likely applies to both; each
+// has its own collision-chain test pinning the surgery.
+func (sh *shard) get(hash uint64, key string) *entry {
+	for e := sh.entries[hash]; e != nil; e = e.next {
+		if e.q.Key() == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// getBytes is get with the key in a scratch buffer — the []byte→string
+// conversion in the comparison does not allocate.
+func (sh *shard) getBytes(hash uint64, key []byte) *entry {
+	for e := sh.entries[hash]; e != nil; e = e.next {
+		if e.q.Key() == string(key) {
+			return e
+		}
+	}
+	return nil
+}
+
+// put inserts e at the head of its hash slot, unlinking and returning any
+// existing entry with the same full key. The caller holds sh.mu for
+// writing.
+func (sh *shard) put(e *entry) (old *entry) {
+	head := sh.entries[e.hash]
+	var prev *entry
+	for cur := head; cur != nil; cur = cur.next {
+		if cur.q.Key() == e.q.Key() {
+			old = cur
+			if prev == nil {
+				head = cur.next
+			} else {
+				prev.next = cur.next
+			}
+			cur.next = nil
+			break
+		}
+		prev = cur
+	}
+	e.next = head
+	sh.entries[e.hash] = e
+	if old == nil {
+		sh.n++
+	}
+	return old
+}
+
+// detach unlinks e from its hash chain. The caller holds sh.mu; e must be
+// resident.
+func (sh *shard) detach(e *entry) {
+	sh.n--
+	head := sh.entries[e.hash]
+	if head == e {
+		if e.next == nil {
+			delete(sh.entries, e.hash)
+		} else {
+			sh.entries[e.hash] = e.next
+		}
+		e.next = nil
+		return
+	}
+	for cur := head; cur != nil; cur = cur.next {
+		if cur.next == e {
+			cur.next = e.next
+			e.next = nil
+			return
+		}
+	}
+}
+
+// size returns the shard's resident entry count, chains included. The
+// caller holds sh.mu. O(1): occupancy reporting (metrics scrapes, Len)
+// must not scan chains under the lock writers need.
+func (sh *shard) size() int { return sh.n }
 
 // unlink removes an entry from the eviction ring (swap-with-last); the
 // caller holds sh.mu.
@@ -63,5 +148,5 @@ func (sh *shard) evictOne() *entry {
 // caller holds sh.mu.
 func (sh *shard) remove(e *entry) {
 	sh.unlink(e)
-	delete(sh.entries, e.key)
+	sh.detach(e)
 }

@@ -31,14 +31,16 @@ func (c *Cache) Dump() *Snapshot {
 		sh := &c.shards[i]
 		sh.mu.RLock()
 		for _, e := range sh.entries {
-			se := SnapshotEntry{Key: e.key, Overflow: e.overflow, Count: e.count}
-			if len(e.tuples) > 0 {
-				se.Tuples = make([]hiddendb.Tuple, len(e.tuples))
-				for j := range e.tuples {
-					se.Tuples[j] = e.tuples[j].Clone()
+			for ; e != nil; e = e.next { // walk signature-collision chains
+				se := SnapshotEntry{Key: e.q.Key(), Overflow: e.overflow, Count: e.count}
+				if len(e.tuples) > 0 {
+					se.Tuples = make([]hiddendb.Tuple, len(e.tuples))
+					for j := range e.tuples {
+						se.Tuples[j] = e.tuples[j].Clone()
+					}
 				}
+				snap.Entries = append(snap.Entries, se)
 			}
-			snap.Entries = append(snap.Entries, se)
 		}
 		sh.mu.RUnlock()
 	}
@@ -49,6 +51,12 @@ func (c *Cache) Dump() *Snapshot {
 // entries were adopted. Entries whose keys no longer parse against the
 // connector's current schema are skipped (the target may have changed);
 // hit/eviction counters are untouched, and MaxEntries still applies.
+//
+// Restore takes ownership of the snapshot's tuple slices: adopted entries
+// alias them (entries are immutable, so no defensive copy is paid), and
+// the caller must not mutate or reuse snap after the call. Snapshots
+// decoded from disk — the warm-start path — satisfy this naturally; to
+// keep a snapshot writable, Dump a fresh one (Dump deep-copies).
 func (c *Cache) Restore(ctx context.Context, snap *Snapshot) (int, error) {
 	schema, err := c.Schema(ctx)
 	if err != nil {
@@ -62,7 +70,7 @@ func (c *Cache) Restore(ctx context.Context, snap *Snapshot) (int, error) {
 		}
 		res := &hiddendb.Result{Overflow: se.Overflow, Count: se.Count, Tuples: se.Tuples}
 		keepRows := !se.Overflow || len(se.Tuples) > 0
-		c.store(se.Key, q, res, keepRows)
+		c.store(q, res, keepRows)
 		adopted++
 	}
 	return adopted, nil

@@ -15,6 +15,9 @@ import (
 // to the subset-paths actually present — O(d·matches) — where the old
 // implementation probed all 2^d subsets of q unconditionally.
 //
+// Predicates are read straight off the Query via its indexed accessor;
+// the trie never copies a predicate list.
+//
 // Writes (one per real issued query) take the exclusive lock; lookups
 // share the read lock, so concurrent workers infer in parallel.
 type ancestorIndex struct {
@@ -31,11 +34,12 @@ type trieNode struct {
 
 // insert registers a complete answer under its predicate sequence,
 // replacing any previous entry for the same query.
-func (ix *ancestorIndex) insert(preds []hiddendb.Predicate, e *entry) {
+func (ix *ancestorIndex) insert(q hiddendb.Query, e *entry) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	n := &ix.root
-	for _, p := range preds {
+	for i := 0; i < q.Len(); i++ {
+		p := q.Pred(i)
 		child, ok := n.children[p]
 		if !ok {
 			if n.children == nil {
@@ -49,17 +53,17 @@ func (ix *ancestorIndex) insert(preds []hiddendb.Predicate, e *entry) {
 	n.e = e
 }
 
-// remove clears the terminal for preds if it still holds exactly e (a
+// remove clears the terminal for q if it still holds exactly e (a
 // replacement may have installed a newer entry) and prunes now-empty
 // nodes on the way back up.
-func (ix *ancestorIndex) remove(preds []hiddendb.Predicate, e *entry) {
+func (ix *ancestorIndex) remove(q hiddendb.Query, e *entry) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	path := make([]*trieNode, 1, len(preds)+1)
+	path := make([]*trieNode, 1, q.Len()+1)
 	path[0] = &ix.root
 	n := &ix.root
-	for _, p := range preds {
-		child := n.children[p]
+	for i := 0; i < q.Len(); i++ {
+		child := n.children[q.Pred(i)]
 		if child == nil {
 			return
 		}
@@ -75,28 +79,28 @@ func (ix *ancestorIndex) remove(preds []hiddendb.Predicate, e *entry) {
 		if nd.e != nil || len(nd.children) > 0 {
 			break
 		}
-		delete(path[i-1].children, preds[i-1])
+		delete(path[i-1].children, q.Pred(i-1))
 	}
 }
 
 // bestAncestor returns the deepest complete cached answer whose predicate
-// set is a proper subset of preds (the query itself is excluded), or nil.
+// set is a proper subset of q's (the query itself is excluded), or nil.
 // Deeper ancestors are preferred because they leave fewer rows to filter.
-func (ix *ancestorIndex) bestAncestor(preds []hiddendb.Predicate) *entry {
+func (ix *ancestorIndex) bestAncestor(q hiddendb.Query) *entry {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	var best *entry
 	bestDepth := -1
 	var walk func(n *trieNode, from, depth int)
 	walk = func(n *trieNode, from, depth int) {
-		if n.e != nil && depth < len(preds) && depth > bestDepth {
+		if n.e != nil && depth < q.Len() && depth > bestDepth {
 			best, bestDepth = n.e, depth
 		}
 		if len(n.children) == 0 {
 			return
 		}
-		for j := from; j < len(preds); j++ {
-			if child, ok := n.children[preds[j]]; ok {
+		for j := from; j < q.Len(); j++ {
+			if child, ok := n.children[q.Pred(j)]; ok {
 				walk(child, j+1, depth+1)
 			}
 		}

@@ -1,0 +1,27 @@
+// Package pprofserve starts the net/http/pprof side listener the daemons
+// share, so live processes can be profiled without exposing the debug
+// handlers on their service ports.
+package pprofserve
+
+import (
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+)
+
+// Start serves net/http/pprof's DefaultServeMux registrations on addr in
+// a background goroutine; empty addr disables it. Both daemons route
+// their service traffic through dedicated handlers, so the profiling
+// endpoints exist only on this side listener. name prefixes the log
+// lines.
+func Start(name, addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("%s: pprof listening on http://%s/debug/pprof/", name, addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("%s: pprof server: %v", name, err)
+		}
+	}()
+}

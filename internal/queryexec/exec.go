@@ -84,7 +84,7 @@ type Executor struct {
 	opts  Options
 
 	mu      sync.Mutex
-	calls   map[string]*call
+	calls   map[uint64]*call // keyed by query signature hash; chained on collision
 	pending []*pendingQuery
 	timer   *time.Timer
 
@@ -97,12 +97,53 @@ type Executor struct {
 	wire      atomic.Int64
 }
 
-// call is one in-flight single-flight execution.
+// call is one in-flight single-flight execution. Calls live in a map
+// keyed by the query's precomputed 64-bit signature hash; the full
+// canonical key resolves the (vanishingly rare) signature collision via
+// the next chain, so distinct queries never share a flight.
 type call struct {
-	done   chan struct{}
-	res    *hiddendb.Result
-	err    error
-	shared bool // a follower joined: every reader must clone
+	key  string // canonical query key, verified on every hash-slot probe
+	next *call  // signature-collision chain within a map slot
+
+	done chan struct{}
+	res  *hiddendb.Result
+	err  error
+}
+
+// findCall walks a hash slot's collision chain for the call matching the
+// full canonical key. The caller holds the executor's mutex. The chain
+// discipline mirrors history's shard.get/put/detach (internal/history/
+// shard.go) — a change to either unlink path likely applies to both;
+// each has its own collision-chain test pinning the surgery.
+func findCall(calls map[uint64]*call, hash uint64, key string) *call {
+	for c := calls[hash]; c != nil; c = c.next {
+		if c.key == key {
+			return c
+		}
+	}
+	return nil
+}
+
+// removeCall unlinks c from its hash slot's chain. The caller holds the
+// executor's mutex.
+func removeCall(calls map[uint64]*call, hash uint64, c *call) {
+	head := calls[hash]
+	if head == c {
+		if c.next == nil {
+			delete(calls, hash)
+		} else {
+			calls[hash] = c.next
+		}
+		c.next = nil
+		return
+	}
+	for cur := head; cur != nil; cur = cur.next {
+		if cur.next == c {
+			cur.next = c.next
+			c.next = nil
+			return
+		}
+	}
 }
 
 // pendingQuery is one query waiting in the linger window.
@@ -119,7 +160,7 @@ func New(inner formclient.Conn, opts Options) *Executor {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 16
 	}
-	x := &Executor{inner: inner, opts: opts, calls: make(map[string]*call)}
+	x := &Executor{inner: inner, opts: opts, calls: make(map[uint64]*call)}
 	// Snapshot the connector's retry counter: pre-existing 429 history on
 	// a reused connector is not congestion this executor caused.
 	x.lastRetries.Store(inner.Stats().RateLimitRetries)
@@ -158,14 +199,16 @@ func (x *Executor) Limiter() *Limiter { return x.opts.Limiter }
 // Execute implements formclient.Conn with single-flight semantics: the
 // first caller of a canonical query becomes its leader and executes (via
 // the batcher when enabled); callers arriving while it is in flight wait
-// and share the answer.
+// and share the answer. Flights are keyed by the query's precomputed
+// signature hash (full-key verified), and followers share the leader's
+// Result outright — Results are immutable by convention, so fan-out costs
+// no deep copies.
 func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
 	x.queries.Add(1)
-	key := q.Key()
+	hash, key := q.Hash(), q.Key()
 	for {
 		x.mu.Lock()
-		if c, ok := x.calls[key]; ok {
-			c.shared = true
+		if c := findCall(x.calls, hash, key); c != nil {
 			x.mu.Unlock()
 			select {
 			case <-c.done:
@@ -182,25 +225,22 @@ func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Res
 				return nil, c.err
 			}
 			x.coalesced.Add(1)
-			return cloneResult(c.res), nil
+			return c.res, nil
 		}
-		c := &call{done: make(chan struct{})}
-		x.calls[key] = c
+		c := &call{key: key, done: make(chan struct{})}
+		c.next = x.calls[hash]
+		x.calls[hash] = c
 		x.mu.Unlock()
 
 		res, err := x.execLeader(ctx, q)
 
 		x.mu.Lock()
-		delete(x.calls, key)
-		shared := c.shared
+		removeCall(x.calls, hash, c)
 		c.res, c.err = res, err
 		x.mu.Unlock()
 		close(c.done)
 		if err != nil {
 			return nil, err
-		}
-		if shared {
-			return cloneResult(res), nil
 		}
 		return res, nil
 	}
@@ -323,19 +363,6 @@ func (x *Executor) run(ctx context.Context, batch []*pendingQuery) {
 		}
 		close(p.done)
 	}
-}
-
-// cloneResult deep-copies a result so fan-out readers never share mutable
-// tuple state.
-func cloneResult(res *hiddendb.Result) *hiddendb.Result {
-	out := &hiddendb.Result{Overflow: res.Overflow, Count: res.Count}
-	if res.Tuples != nil {
-		out.Tuples = make([]hiddendb.Tuple, len(res.Tuples))
-		for i := range res.Tuples {
-			out.Tuples[i] = res.Tuples[i].Clone()
-		}
-	}
-	return out
 }
 
 var _ formclient.Conn = (*Executor)(nil)

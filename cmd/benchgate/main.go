@@ -1,0 +1,219 @@
+// Command benchgate turns a benchmark comparison into a CI verdict: it
+// parses two `go test -bench` outputs (base branch vs head), compares the
+// median ns/op of named benchmarks, and fails when a benchmark regressed
+// beyond the threshold — unless the measurements are too noisy to trust,
+// in which case it downgrades to an advisory note (a flaky runner must
+// not block merges, but a real 15% walk-path regression must).
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt \
+//	    -bench BenchmarkWalkEndToEnd,BenchmarkExecuteIntersect \
+//	    -threshold 15 -noise 10
+//
+// Exit status: 0 (pass or advisory), 1 (confident regression), 2 (usage).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baseF      = flag.String("base", "", "base-branch benchmark output file")
+		headF      = flag.String("head", "", "head benchmark output file")
+		benchF     = flag.String("bench", "", "comma-separated benchmark names to gate; a name also covers its sub-benchmarks (BenchmarkExecuteIntersect gates .../none and .../exact separately)")
+		thresholdF = flag.Float64("threshold", 15, "fail when median ns/op regresses more than this percentage")
+		noiseF     = flag.Float64("noise", 10, "advisory-only when either side's relative spread exceeds this percentage")
+		minN       = flag.Int("min-samples", 3, "advisory-only when either side has fewer samples than this")
+	)
+	flag.Parse()
+	if *baseF == "" || *headF == "" || *benchF == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base, -head and -bench are required")
+		os.Exit(2)
+	}
+	base, err := parseFile(*baseF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(*headF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, name := range strings.Split(*benchF, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		// A gated name covers itself plus its sub-benchmarks
+		// (BenchmarkExecuteIntersect matches .../none and .../exact), each
+		// gated on its own samples — pooling sub-benchmarks of different
+		// magnitudes into one median would hide regressions in the mix.
+		keys := expand(name, base, head)
+		if len(keys) == 0 {
+			v := verdict(name, nil, nil, *thresholdF, *noiseF, *minN)
+			fmt.Println(v.String())
+			continue
+		}
+		for _, key := range keys {
+			v := verdict(key, base[key], head[key], *thresholdF, *noiseF, *minN)
+			fmt.Println(v.String())
+			if v.fail {
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed beyond %.0f%%\n", failed, *thresholdF)
+		os.Exit(1)
+	}
+}
+
+// expand resolves a gated benchmark name to the concrete keys present in
+// either run: the name itself and any `name/sub` sub-benchmarks.
+func expand(name string, base, head map[string][]float64) []string {
+	seen := make(map[string]bool)
+	for _, m := range []map[string][]float64{base, head} {
+		for key := range m {
+			if key == name || strings.HasPrefix(key, name+"/") {
+				seen[key] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// parseFile reads `go test -bench` output, grouping ns/op samples by
+// benchmark base name (the -N GOMAXPROCS suffix is stripped, so repeated
+// -count runs accumulate).
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if ok {
+			out[name] = append(out[name], ns)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine extracts (benchmark base name, ns/op) from one output line.
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return baseName(fields[0]), ns, true
+		}
+	}
+	return "", 0, false
+}
+
+// baseName strips the -N parallelism suffix go test appends.
+func baseName(s string) string {
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// result is one benchmark's gate outcome.
+type result struct {
+	name     string
+	fail     bool
+	advisory bool
+	note     string
+}
+
+func (r result) String() string {
+	switch {
+	case r.fail:
+		return fmt.Sprintf("FAIL     %-28s %s", r.name, r.note)
+	case r.advisory:
+		return fmt.Sprintf("ADVISORY %-28s %s", r.name, r.note)
+	default:
+		return fmt.Sprintf("ok       %-28s %s", r.name, r.note)
+	}
+}
+
+// verdict gates one benchmark: a confident regression beyond threshold%
+// fails; noisy or missing data downgrades to advisory.
+func verdict(name string, base, head []float64, threshold, noise float64, minSamples int) result {
+	r := result{name: name}
+	if len(base) == 0 || len(head) == 0 {
+		r.advisory = true
+		r.note = fmt.Sprintf("missing samples (base %d, head %d); not gated", len(base), len(head))
+		return r
+	}
+	mb, mh := median(base), median(head)
+	if mb <= 0 {
+		r.advisory = true
+		r.note = "degenerate base median; not gated"
+		return r
+	}
+	delta := (mh - mb) / mb * 100
+	r.note = fmt.Sprintf("base %.4gns head %.4gns delta %+.1f%%", mb, mh, delta)
+	sb, sh := spread(base), spread(head)
+	switch {
+	case len(base) < minSamples || len(head) < minSamples:
+		r.advisory = true
+		r.note += fmt.Sprintf(" (advisory: %d/%d samples < %d)", len(base), len(head), minSamples)
+	case sb > noise || sh > noise:
+		r.advisory = true
+		r.note += fmt.Sprintf(" (advisory: spread base %.1f%% head %.1f%% > %.0f%% noise limit)", sb, sh, noise)
+	case delta > threshold:
+		r.fail = true
+		r.note += fmt.Sprintf(" — regression beyond %.0f%%", threshold)
+	}
+	return r
+}
+
+// median returns the middle sample (upper-middle for even counts).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// spread is the relative half-range around the median, in percent — a
+// cheap robust noise measure for the handful of samples -count produces.
+func spread(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := median(s)
+	if m <= 0 {
+		return 100
+	}
+	return (s[len(s)-1] - s[0]) / m * 100 / 2
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -14,7 +15,7 @@ func TestWriteReportRoundTrip(t *testing.T) {
 		GeneratedAt: time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC),
 		Scale:       "small",
 		Results: []benchResult{
-			{ID: "topk", Title: "top-k limits", Seconds: 1.5, Metrics: map[string]float64{"queries/candidate@k=1000": 3.2}},
+			{ID: "topk", Title: "top-k limits", Seconds: 1.5, Metrics: map[string]safeFloat{"queries/candidate@k=1000": 3.2}},
 			{ID: "broken", Title: "a failing one", Seconds: 0.1, Error: "boom"},
 		},
 	}
@@ -37,5 +38,90 @@ func TestWriteReportRoundTrip(t *testing.T) {
 	}
 	if got.Results[1].Error != "boom" {
 		t.Fatalf("error lost: %+v", got.Results[1])
+	}
+}
+
+// TestWriteReportValidJSONOnPartialFailure is the regression test for the
+// truncated-stream bug: a report holding non-finite metrics (an infinite
+// queries-per-sample from a degenerate or failed experiment) used to kill
+// the streaming encoder mid-file, leaving invalid JSON precisely when one
+// experiment failed. The written file must always be complete, valid
+// JSON that round-trips every result — including the failed one.
+func TestWriteReportValidJSONOnPartialFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := benchReport{
+		GeneratedAt: time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC),
+		Scale:       "small",
+		Results: []benchResult{
+			{ID: "good", Title: "a clean one", Seconds: 0.2,
+				Metrics: map[string]safeFloat{"skew": 0.01}},
+			{ID: "degenerate", Title: "the one that used to truncate the file", Seconds: 0.1,
+				Error: "sampler starved",
+				Metrics: map[string]safeFloat{
+					"queries/sample": safeFloat(math.Inf(1)),
+					"skew":           safeFloat(math.NaN()),
+					"drift":          safeFloat(math.Inf(-1)),
+				}},
+			{ID: "after", Title: "results after the failure must survive", Seconds: 0.3,
+				Metrics: map[string]safeFloat{"tv": 0.5}},
+		},
+	}
+	if err := writeReport(path, &want); err != nil {
+		t.Fatalf("writeReport with non-finite metrics: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatalf("written report is not valid JSON:\n%s", raw)
+	}
+	var got benchReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 3 {
+		t.Fatalf("results after the failing entry were lost: %+v", got.Results)
+	}
+	deg := got.Results[1]
+	if !math.IsInf(float64(deg.Metrics["queries/sample"]), 1) {
+		t.Fatalf("+Inf metric did not round-trip: %v", deg.Metrics)
+	}
+	if !math.IsNaN(float64(deg.Metrics["skew"])) {
+		t.Fatalf("NaN metric did not round-trip: %v", deg.Metrics)
+	}
+	if !math.IsInf(float64(deg.Metrics["drift"]), -1) {
+		t.Fatalf("-Inf metric did not round-trip: %v", deg.Metrics)
+	}
+	if got.Results[2].Metrics["tv"] != 0.5 {
+		t.Fatalf("trailing result corrupted: %+v", got.Results[2])
+	}
+}
+
+// TestWriteReportAtomicReplace: an existing report is replaced, never
+// left half-overwritten, and no temp file lingers.
+func TestWriteReportAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte("old garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := benchReport{Scale: "small"}
+	if err := writeReport(path, &rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatalf("replacement not valid JSON: %s", raw)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp artifacts left behind: %v", entries)
 	}
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"hdsampler/internal/experiments"
+	"hdsampler/internal/scenario"
+)
+
+// scenarioExperiment adapts a slice of the adversarial scenario matrix
+// (internal/scenario) into the experiment list, so every default hdbench
+// run — including the per-PR CI artifact — carries a bias/liveness
+// exhibit. It lives here rather than in internal/experiments because the
+// matrix drives the assembled system through the root hdsampler package,
+// which the experiments package (imported by the root package's
+// benchmarks) cannot import back. The exhaustive sweep is `hdbench
+// -matrix`, the nightly gate.
+func scenarioExperiment() experiments.Experiment {
+	return experiments.Experiment{
+		ID:    "scenario",
+		Title: "ext — scenario matrix: bias and liveness under interface faults",
+		Run:   runScenarioExperiment,
+	}
+}
+
+// runScenarioExperiment runs the matrix slice and renders it as a table.
+func runScenarioExperiment(s Scale) (*experiments.Table, error) {
+	cfg := scenario.Config{
+		Seed:           42,
+		SamplesPerCell: 200,
+		Datasets:       scenario.DefaultDatasets(true)[:2],
+	}
+	if s == experiments.ScaleFull {
+		cfg.SamplesPerCell = 600
+		cfg.Datasets = scenario.DefaultDatasets(false)
+	}
+	rep, err := scenario.Run(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &experiments.Table{
+		ID:     "scenario",
+		Title:  "ext — scenario matrix: bias and liveness under interface faults",
+		Header: []string{"dataset", "fault", "sampler", "accepted", "chi2 p", "KS", "q/sample", "retried", "faults", "verdict"},
+		Notes: []string{
+			fmt.Sprintf("grid %dx%dx%d, %d samples/cell, seed %d; bias gated on fault-free cells only",
+				rep.Grid[0], rep.Grid[1], rep.Grid[2], rep.SamplesPerCell, rep.Seed),
+		},
+		Metrics: map[string]float64{},
+	}
+	var failures, gated int
+	worstP := 1.0
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		verdict := "ok"
+		switch {
+		case !c.OK():
+			verdict = "FAIL"
+			failures++
+		case !c.BiasGated:
+			verdict = "live"
+		}
+		if c.BiasGated {
+			gated++
+			if c.ChiP < worstP {
+				worstP = c.ChiP
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Dataset, c.Fault, c.Sampler,
+			fmt.Sprintf("%d/%d", c.Accepted, c.Requested),
+			fmt.Sprintf("%.3g", c.ChiP), fmt.Sprintf("%.3f", c.KS), fmt.Sprintf("%.1f", c.QueriesPerSample),
+			fmt.Sprintf("%d", c.QueriesRetried), fmt.Sprintf("%d", c.Faults.Total()),
+			verdict,
+		})
+	}
+	t.Metrics["cells"] = float64(len(rep.Cells))
+	t.Metrics["failures"] = float64(failures)
+	t.Metrics["gated cells"] = float64(gated)
+	t.Metrics["worst gated chi2 p"] = worstP
+	if failures > 0 {
+		return t, fmt.Errorf("scenario: %d cells failed: %v", failures, rep.Failures())
+	}
+	return t, nil
+}
+
+// Scale aliases the experiments sizing type for the local adapter.
+type Scale = experiments.Scale
+
+// allExperiments is the selectable set: the reproduction's exhibits plus
+// the locally-adapted scenario exhibit.
+func allExperiments() []experiments.Experiment {
+	return append(experiments.All(), scenarioExperiment())
+}
+
+// experimentByID resolves an ID against the combined set.
+func experimentByID(id string) (experiments.Experiment, bool) {
+	for _, e := range allExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return experiments.Experiment{}, false
+}

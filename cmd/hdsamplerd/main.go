@@ -27,9 +27,11 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hdsampler/internal/faultform"
 	"hdsampler/internal/jobsvc"
 	"hdsampler/internal/pprofserve"
 )
@@ -46,10 +48,15 @@ func main() {
 		batchMax     = flag.Int("batch-max", 16, "max queries per batch wire request")
 		cacheCap     = flag.Int("cache-entries", 0, "max entries per shared host history cache (0 = unlimited)")
 		histDir      = flag.String("history-dir", "", "checkpoint directory for shared history caches: dumped on shutdown, warm-started on first use (empty = off)")
+		faultProf    = flag.String("fault-profile", "none", "chaos mode: wrap every target connector in this faultform preset ("+strings.Join(faultform.PresetNames(), "|")+")")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for reproducible fault injection")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		pprofAddr    = flag.String("pprof", "", "listen address for net/http/pprof profiling, e.g. localhost:6060 (empty = disabled)")
 	)
 	flag.Parse()
+	if _, ok := faultform.Preset(*faultProf); !ok {
+		log.Fatalf("hdsamplerd: unknown -fault-profile %q (want one of %v)", *faultProf, faultform.PresetNames())
+	}
 	pprofserve.Start("hdsamplerd", *pprofAddr)
 
 	mgr, srv := newDaemon(*addr, jobsvc.Config{
@@ -62,6 +69,8 @@ func main() {
 		BatchMax:        *batchMax,
 		CacheMaxEntries: *cacheCap,
 		HistoryDir:      *histDir,
+		FaultProfile:    *faultProf,
+		FaultSeed:       *faultSeed,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

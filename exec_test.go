@@ -190,3 +190,55 @@ func TestSliderZeroExplicit(t *testing.T) {
 		t.Fatalf("slider ordering broken: C(0)=%g >= C(0.5)=%g", lowSkew.C(), halfway.C())
 	}
 }
+
+// TestSingleSamplerTransientRetryKnob pins that an explicit
+// TransientRetries budget alone wires a lone Sampler through the
+// execution layer: a one-blip interface must cost a retry, not the draw.
+func TestSingleSamplerTransientRetryKnob(t *testing.T) {
+	ds := datagen.IIDBoolean(5, 200, 0.5, 9)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := &oneBlipConn{inner: formclient.NewLocal(db)}
+	s, err := New(context.Background(), conn, Config{Seed: 4, Exec: ExecConfig{TransientRetries: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, _, err := s.Draw(context.Background(), 10)
+	if err != nil {
+		t.Fatalf("Draw through a transient blip: %v", err)
+	}
+	if len(tuples) != 10 {
+		t.Fatalf("drew %d of 10 samples", len(tuples))
+	}
+	xs, ok := s.ExecStats()
+	if !ok {
+		t.Fatal("TransientRetries knob did not wire the execution layer")
+	}
+	if xs.TransientRetries != 1 {
+		t.Fatalf("TransientRetries = %d, want 1", xs.TransientRetries)
+	}
+	if !conn.blipped.Load() {
+		t.Fatal("test conn never blipped")
+	}
+}
+
+// oneBlipConn fails exactly one Execute with a transient fault.
+type oneBlipConn struct {
+	inner   formclient.Conn
+	blipped atomic.Bool
+}
+
+func (c *oneBlipConn) Schema(ctx context.Context) (*hiddendb.Schema, error) {
+	return c.inner.Schema(ctx)
+}
+
+func (c *oneBlipConn) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+	if c.blipped.CompareAndSwap(false, true) {
+		return nil, formclient.ErrTransient
+	}
+	return c.inner.Execute(ctx, q)
+}
+
+func (c *oneBlipConn) Stats() formclient.Stats { return c.inner.Stats() }

@@ -101,11 +101,19 @@ type ExecConfig struct {
 	RatePerSec float64
 	// Burst is the rate cap's token bucket capacity (default 10).
 	Burst int
+	// TransientRetries bounds the execution layer's retries of wire
+	// executions failing with transient interface faults (5xx blips,
+	// timeouts) before the error reaches the sampler. Default 2; negative
+	// disables retrying.
+	TransientRetries int
 }
 
-// limited reports whether any admission-control knob is set.
+// limited reports whether any knob is set that requires routing even a
+// lone sampler through the execution layer: admission control, or an
+// explicit transient-retry budget (retries live in the layer, so a
+// sampler configured to survive blips must be wired through it).
 func (e ExecConfig) limited() bool {
-	return e.MaxInFlight > 0 || e.RatePerSec > 0
+	return e.MaxInFlight > 0 || e.RatePerSec > 0 || e.TransientRetries > 0
 }
 
 // limiter builds the admission controller the knobs describe (nil when
@@ -124,9 +132,10 @@ func (e ExecConfig) limiter() *queryexec.Limiter {
 // options converts the knobs to the internal layer's options.
 func (e ExecConfig) options() queryexec.Options {
 	return queryexec.Options{
-		BatchLinger: e.BatchLinger,
-		MaxBatch:    e.MaxBatch,
-		Limiter:     e.limiter(),
+		BatchLinger:      e.BatchLinger,
+		MaxBatch:         e.MaxBatch,
+		Limiter:          e.limiter(),
+		TransientRetries: e.TransientRetries,
 	}
 }
 
@@ -194,7 +203,11 @@ type Stats struct {
 	// wire requests — the execution layer's savings (zero without it).
 	QueriesCoalesced int64
 	QueriesBatched   int64
-	Elapsed          time.Duration
+	// QueriesRetried counts wire executions the execution layer repeated
+	// after transient interface faults — misbehaviour absorbed before it
+	// could kill a walk (zero without the layer).
+	QueriesRetried int64
+	Elapsed        time.Duration
 }
 
 // Sampler is the assembled system: connector (optionally wrapped in the

@@ -23,7 +23,14 @@ type Progress struct {
 	Candidates int64
 	Accepted   int64
 	Rejected   int64
-	// Queries is the generator's cumulative interface query count.
+	// Queries is the interface query bill of every candidate the pipeline
+	// has processed (accepted or rejected), attributed from each
+	// candidate's own draw cost. Attribution makes the completed-run
+	// figure a pure function of the candidate sequence: the generator
+	// goroutine prefetches ahead of the consumer, so reading the
+	// generator's raw counter would include a scheduling-dependent number
+	// of walks past the target — and the scenario matrix gates on
+	// reproducible costs.
 	Queries int64
 	Elapsed time.Duration
 	// Done reports that the pipeline has stopped (target reached, error,
@@ -58,6 +65,7 @@ type Pipeline struct {
 	candidates atomic.Int64
 	accepted   atomic.Int64
 	rejected   atomic.Int64
+	queries    atomic.Int64
 	start      time.Time
 	elapsed    atomic.Int64 // frozen run duration (ns), set before done
 	done       atomic.Bool
@@ -111,6 +119,7 @@ func (p *Pipeline) Start(ctx context.Context) <-chan Sample {
 			close(p.samples)
 		}()
 		for cand := range candidates {
+			p.queries.Add(int64(cand.Queries))
 			if p.rej != nil && !p.rej.Accept(cand) {
 				p.rejected.Add(1)
 				continue
@@ -153,7 +162,7 @@ func (p *Pipeline) Progress() Progress {
 		Candidates: p.candidates.Load(),
 		Accepted:   p.accepted.Load(),
 		Rejected:   p.rejected.Load(),
-		Queries:    p.gen.GenStats().Queries,
+		Queries:    p.queries.Load(),
 		Done:       p.done.Load(),
 		Err:        p.Err(),
 	}

@@ -18,6 +18,10 @@ import (
 type Dataset struct {
 	Schema *hiddendb.Schema
 	Tuples []hiddendb.Tuple
+	// Ranker, when non-nil, is the interface ordering this dataset is
+	// meant to be served under (e.g. RankedListings ranks by price);
+	// nil keeps hiddendb's default opaque hash order.
+	Ranker hiddendb.Ranker
 }
 
 // IIDBoolean generates n tuples over m boolean attributes where each

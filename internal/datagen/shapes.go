@@ -1,0 +1,98 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// RankedListings generates a storefront-shaped database whose interface
+// order is meaningful rather than opaque: listings with a category, a
+// condition flag and a numeric price, ranked cheapest-first (the common
+// storefront default). Because the top-k window is now correlated with
+// price, overflowing queries systematically hide the expensive tail —
+// the ranked-result regime the scenario matrix stresses samplers under.
+// Set the returned Dataset's Ranker on hiddendb.New to serve it that way.
+func RankedListings(n int, seed int64) *Dataset {
+	if n < 1 {
+		panic(fmt.Sprintf("datagen: invalid RankedListings size n=%d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	categories := []string{"books", "music", "games", "tools", "garden", "kitchen"}
+	priceCuts := []float64{0, 10, 25, 50, 100, 250}
+	schema := hiddendb.MustSchema("ranked-listings",
+		hiddendb.CatAttr("category", categories...),
+		hiddendb.BoolAttr("used"),
+		hiddendb.NumAttr("price", priceCuts...),
+	)
+	priceAttr := schema.AttrIndex("price")
+	tuples := make([]hiddendb.Tuple, n)
+	for i := range tuples {
+		cat := rng.Intn(len(categories))
+		used := rng.Intn(2)
+		// Log-uniform price in [1, 250): every bucket is populated but the
+		// cheap ones are denser, like a real listing site.
+		price := math.Exp(rng.Float64() * math.Log(250))
+		if price < 1 {
+			price = 1
+		}
+		bucket := schema.Attrs[priceAttr].BucketOf(price)
+		if bucket < 0 {
+			bucket = len(priceCuts) - 2
+		}
+		nums := make([]float64, 3)
+		nums[0], nums[1] = math.NaN(), math.NaN()
+		nums[priceAttr] = price
+		tuples[i] = hiddendb.Tuple{Vals: []int{cat, used, bucket}, Nums: nums}
+	}
+	return &Dataset{
+		Schema: schema,
+		Tuples: tuples,
+		Ranker: hiddendb.ByAttrRanker{Attr: priceAttr, Ascending: true},
+	}
+}
+
+// WideCategorical generates n tuples over m categorical attributes of
+// domain size dom each, with lumpy per-attribute value frequencies (drawn
+// once from an exponential prior) and a deliberate fraction of empty
+// values. Wide, holey domains are the dead-end-heavy regime: most single
+// drill-down steps land on rare or empty branches, stressing walk restart
+// machinery and history-cache churn rather than depth.
+func WideCategorical(m, dom, n int, holeFrac float64, seed int64) *Dataset {
+	if m < 1 || dom < 2 || n < 1 {
+		panic(fmt.Sprintf("datagen: invalid WideCategorical shape m=%d dom=%d n=%d", m, dom, n))
+	}
+	if holeFrac < 0 || holeFrac >= 1 {
+		panic(fmt.Sprintf("datagen: WideCategorical holeFrac %g outside [0,1)", holeFrac))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := make([]hiddendb.Attribute, m)
+	samplers := make([]*weighted, m)
+	for i := 0; i < m; i++ {
+		values := make([]string, dom)
+		w := make([]float64, dom)
+		holes := int(holeFrac * float64(dom))
+		for v := 0; v < dom; v++ {
+			values[v] = fmt.Sprintf("v%d", v)
+			if v >= dom-holes {
+				w[v] = 0 // advertised in the form, present in no tuple
+			} else {
+				w[v] = rng.ExpFloat64() + 1e-3
+			}
+		}
+		attrs[i] = hiddendb.CatAttr(fmt.Sprintf("a%d", i+1), values...)
+		samplers[i] = newWeighted(w)
+	}
+	schema := hiddendb.MustSchema(fmt.Sprintf("wide-cat-m%d-d%d", m, dom), attrs...)
+	tuples := make([]hiddendb.Tuple, n)
+	for i := range tuples {
+		vals := make([]int, m)
+		for j := range vals {
+			vals[j] = samplers[j].draw(rng)
+		}
+		tuples[i] = hiddendb.Tuple{Vals: vals}
+	}
+	return &Dataset{Schema: schema, Tuples: tuples}
+}

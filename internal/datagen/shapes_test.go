@@ -1,0 +1,133 @@
+package datagen
+
+import (
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+)
+
+func TestRankedListingsShape(t *testing.T) {
+	ds := RankedListings(300, 4)
+	if ds.Ranker == nil {
+		t.Fatal("RankedListings must carry its price ranker")
+	}
+	if got := ds.Schema.NumAttrs(); got != 3 {
+		t.Fatalf("attrs = %d, want 3", got)
+	}
+	priceAttr := ds.Schema.AttrIndex("price")
+	if priceAttr < 0 || ds.Schema.Attrs[priceAttr].Kind != hiddendb.KindNumeric {
+		t.Fatalf("missing numeric price attribute (idx %d)", priceAttr)
+	}
+	for i, tu := range ds.Tuples {
+		p, ok := tu.Num(priceAttr)
+		if !ok || p < 1 || p >= 250 {
+			t.Fatalf("tuple %d: price %g outside [1,250)", i, p)
+		}
+		if b := ds.Schema.Attrs[priceAttr].BucketOf(p); b != tu.Vals[priceAttr] {
+			t.Fatalf("tuple %d: price %g in bucket %d but Vals says %d", i, p, b, tu.Vals[priceAttr])
+		}
+	}
+	// Served under its ranker, the visible top-k must be the cheapest
+	// rows: the correlated-truncation regime the generator exists for.
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, ds.Ranker, hiddendb.Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Execute(hiddendb.EmptyQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overflow || len(res.Tuples) != 10 {
+		t.Fatalf("top-k page: overflow=%v rows=%d", res.Overflow, len(res.Tuples))
+	}
+	maxShown := 0.0
+	for i := range res.Tuples {
+		if p, _ := res.Tuples[i].Num(priceAttr); p > maxShown {
+			maxShown = p
+		}
+	}
+	cheaperHidden := 0
+	for i := range ds.Tuples {
+		tu := db.Tuple(i)
+		if p, _ := tu.Num(priceAttr); p < maxShown {
+			cheaperHidden++
+		}
+	}
+	if cheaperHidden > 10 {
+		t.Fatalf("ranking broken: %d rows cheaper than the page's max, want <= 10", cheaperHidden)
+	}
+}
+
+func TestRankedListingsDeterministic(t *testing.T) {
+	a, b := RankedListings(100, 9), RankedListings(100, 9)
+	for i := range a.Tuples {
+		pa, _ := a.Tuples[i].Num(2)
+		pb, _ := b.Tuples[i].Num(2)
+		if pa != pb || a.Tuples[i].Vals[0] != b.Tuples[i].Vals[0] {
+			t.Fatalf("tuple %d differs across equal seeds", i)
+		}
+	}
+	c := RankedListings(100, 10)
+	same := true
+	for i := range a.Tuples {
+		pa, _ := a.Tuples[i].Num(2)
+		pc, _ := c.Tuples[i].Num(2)
+		if pa != pc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds generated identical data")
+	}
+}
+
+func TestWideCategoricalHolesNeverDrawn(t *testing.T) {
+	const m, dom, n = 3, 12, 500
+	ds := WideCategorical(m, dom, n, 0.25, 6)
+	if got := ds.Schema.NumAttrs(); got != m {
+		t.Fatalf("attrs = %d, want %d", got, m)
+	}
+	holes := int(0.25 * dom)
+	for a := 0; a < m; a++ {
+		if got := ds.Schema.DomainSize(a); got != dom {
+			t.Fatalf("attr %d domain = %d, want %d", a, got, dom)
+		}
+		seen := make([]int, dom)
+		for _, tu := range ds.Tuples {
+			seen[tu.Vals[a]]++
+		}
+		for v := dom - holes; v < dom; v++ {
+			if seen[v] != 0 {
+				t.Fatalf("attr %d: hole value %d drawn %d times", a, v, seen[v])
+			}
+		}
+		populated := 0
+		for v := 0; v < dom-holes; v++ {
+			if seen[v] > 0 {
+				populated++
+			}
+		}
+		if populated < dom/2 {
+			t.Fatalf("attr %d: only %d of %d non-hole values populated", a, populated, dom-holes)
+		}
+	}
+}
+
+func TestWideCategoricalPanicsOnBadShape(t *testing.T) {
+	for _, fn := range []func(){
+		func() { WideCategorical(0, 5, 10, 0, 1) },
+		func() { WideCategorical(2, 1, 10, 0, 1) },
+		func() { WideCategorical(2, 5, 0, 0, 1) },
+		func() { WideCategorical(2, 5, 10, 1.0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad shape did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -189,6 +189,31 @@ func (d *Dist) Summarize(c float64) Summary {
 	return s
 }
 
+// Selection returns the normalized per-tuple selection distribution after
+// acceptance/rejection with target reach C — the exact distribution an
+// accepted sample is drawn from, the reference the scenario matrix's bias
+// gates compare observed counts against. All zeros when nothing can be
+// accepted.
+func (d *Dist) Selection(c float64) []float64 {
+	sel := make([]float64, d.N)
+	total := 0.0
+	for i, r := range d.Reach {
+		p := r
+		if c > 0 && c < p {
+			p = c
+		}
+		sel[i] = p
+		total += p
+	}
+	if total <= 0 {
+		return make([]float64, d.N)
+	}
+	for i := range sel {
+		sel[i] /= total
+	}
+	return sel
+}
+
 // MinReach returns the smallest positive reach probability — the largest C
 // that still yields perfectly uniform samples over reachable tuples.
 func (d *Dist) MinReach() float64 {

@@ -291,3 +291,57 @@ func TestReachSumsToCandidateProb(t *testing.T) {
 		t.Errorf("probability mass = %g, want 1", total)
 	}
 }
+
+func TestSelectionMatchesSummarize(t *testing.T) {
+	ds := datagen.IIDBoolean(5, 80, 0.5, 3)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := WalkDist(db, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{1, d.MinReach(), 0.002} {
+		sel := d.Selection(c)
+		if len(sel) != d.N {
+			t.Fatalf("C=%g: selection length %d, want %d", c, len(sel), d.N)
+		}
+		total := 0.0
+		for _, p := range sel {
+			if p < 0 {
+				t.Fatalf("C=%g: negative selection probability", c)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("C=%g: selection sums to %g, want 1", c, total)
+		}
+		// Selection must be the normalized min(reach, C) the Summary is
+		// computed from: rebuild it independently and compare.
+		accept := 0.0
+		for _, r := range d.Reach {
+			accept += math.Min(r, c)
+		}
+		for i, r := range d.Reach {
+			want := math.Min(r, c) / accept
+			if math.Abs(sel[i]-want) > 1e-12 {
+				t.Fatalf("C=%g: sel[%d] = %g, want %g", c, i, sel[i], want)
+			}
+		}
+	}
+	// At C = MinReach the selection is uniform over reachable tuples.
+	sel := d.Selection(d.MinReach())
+	reachable := d.N - d.Unreachable
+	for i, r := range d.Reach {
+		if r == 0 {
+			if sel[i] != 0 {
+				t.Fatalf("unreachable tuple %d selected with p=%g", i, sel[i])
+			}
+			continue
+		}
+		if math.Abs(sel[i]-1/float64(reachable)) > 1e-9 {
+			t.Fatalf("tuple %d: p=%g, want uniform %g", i, sel[i], 1/float64(reachable))
+		}
+	}
+}

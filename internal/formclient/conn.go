@@ -15,12 +15,17 @@ import (
 )
 
 // Stats counts a connector's traffic. Queries is the number of logical
-// interface queries answered; HTTPRequests and RateLimitRetries are only
-// meaningful for HTTP connectors.
+// interface queries answered; HTTPRequests, RateLimitRetries and
+// TransientRetries are only meaningful for HTTP (and fault-injecting)
+// connectors.
 type Stats struct {
 	Queries          int64
 	HTTPRequests     int64
 	RateLimitRetries int64
+	// TransientRetries counts attempts repeated after a 5xx blip or a
+	// timed-out request — interface flakiness, as opposed to rate-limit
+	// congestion.
+	TransientRetries int64
 }
 
 // Conn is the restricted access channel to a hidden database. All samplers

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -27,6 +28,13 @@ var ErrPageFormat = errors.New("formclient: unrecognized page format")
 // ErrRateLimited reports that the site kept answering 429 past the retry
 // budget.
 var ErrRateLimited = errors.New("formclient: rate limited beyond retry budget")
+
+// ErrTransient reports a fault that is the site's (or the network's)
+// problem, not the query's: a 5xx blip or a timed-out request. The
+// connector retries these within its budget; past it the error surfaces
+// wrapped in ErrTransient so upper layers (queryexec, the scenario
+// harness) can distinguish "try again later" from "this query is wrong".
+var ErrTransient = errors.New("formclient: transient interface fault")
 
 // HTTPOptions tunes an HTTP connector.
 type HTTPOptions struct {
@@ -60,10 +68,11 @@ type HTTP struct {
 	mu     sync.Mutex
 	schema *hiddendb.Schema
 
-	queries   atomic.Int64
-	requests  atomic.Int64
-	retries   atomic.Int64
-	requested atomic.Bool // politeness: first request is immediate
+	queries    atomic.Int64
+	requests   atomic.Int64
+	retries    atomic.Int64
+	transients atomic.Int64
+	requested  atomic.Bool // politeness: first request is immediate
 }
 
 // NewHTTP builds a connector for the site rooted at baseURL, e.g.
@@ -106,14 +115,23 @@ func (h *HTTP) post(ctx context.Context, u, contentType string, payload []byte) 
 	return h.do(ctx, http.MethodPost, u, contentType, payload)
 }
 
-// do performs one logical request with rate-limit retries and returns the
-// body. payload is borrowed for the call (each retry re-reads it), never
-// retained, so callers can hand over a reusable buffer's bytes.
+// do performs one logical request with rate-limit and transient-fault
+// retries and returns the body. payload is borrowed for the call (each
+// retry re-reads it), never retained, so callers can hand over a reusable
+// buffer's bytes.
+//
+// Two fault families are retried within the shared MaxRetries budget but
+// counted separately, because upper layers react differently: 429s are
+// congestion (the AIMD limiter backs off when RateLimitRetries advances),
+// while 5xx blips and timed-out requests are plain flakiness
+// (TransientRetries) that must not shrink the concurrency window.
 func (h *HTTP) do(ctx context.Context, method, u, contentType string, payload []byte) (string, error) {
 	var lastWait time.Duration
+	var retrying *atomic.Int64 // counter to bump when the next attempt starts
+	var budgetErr error        // error surfaced when the retry budget runs out
 	for attempt := 0; attempt < h.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
-			h.retries.Add(1)
+			retrying.Add(1)
 			if err := h.opts.Sleep(ctx, lastWait); err != nil {
 				return "", err
 			}
@@ -137,6 +155,13 @@ func (h *HTTP) do(ctx context.Context, method, u, contentType string, payload []
 		h.requests.Add(1)
 		resp, err := h.opts.Client.Do(req)
 		if err != nil {
+			// A timed-out request is a blip worth retrying; a cancelled
+			// context (or any other transport failure) is not.
+			if ctx.Err() == nil && isTimeout(err) {
+				retrying, budgetErr = &h.transients, fmt.Errorf("%w: %s %s: %v", ErrTransient, method, u, err)
+				lastWait = transientWait(attempt, h.opts.MaxRetryWait)
+				continue
+			}
 			return "", err
 		}
 		body, err := io.ReadAll(resp.Body)
@@ -148,14 +173,34 @@ func (h *HTTP) do(ctx context.Context, method, u, contentType string, payload []
 		case http.StatusOK:
 			return string(body), nil
 		case http.StatusTooManyRequests:
+			retrying, budgetErr = &h.retries, fmt.Errorf("%w: %s", ErrRateLimited, u)
 			lastWait = retryWait(resp, h.opts.MaxRetryWait)
+			continue
+		case http.StatusInternalServerError, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			retrying, budgetErr = &h.transients, fmt.Errorf("%w: %s %s: status %d: %s",
+				ErrTransient, method, u, resp.StatusCode, strings.TrimSpace(string(body)))
+			lastWait = transientWait(attempt, h.opts.MaxRetryWait)
 			continue
 		default:
 			return "", fmt.Errorf("formclient: %s %s: status %d: %s",
 				method, u, resp.StatusCode, strings.TrimSpace(string(body)))
 		}
 	}
-	return "", fmt.Errorf("%w: %s", ErrRateLimited, u)
+	return "", budgetErr
+}
+
+// isTimeout reports whether a transport error is a timeout (as opposed to
+// a refused connection or a protocol failure).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// transientWait is the exponential backoff for 5xx/timeout retries, capped
+// at max; servers in a blip give no Retry-After hint to honor.
+func transientWait(attempt int, max time.Duration) time.Duration {
+	return minDur(100*time.Millisecond<<attempt, max)
 }
 
 // retryWait derives the backoff from the response headers, preferring the
@@ -439,6 +484,7 @@ func (h *HTTP) Stats() Stats {
 		Queries:          h.queries.Load(),
 		HTTPRequests:     h.requests.Load(),
 		RateLimitRetries: h.retries.Load(),
+		TransientRetries: h.transients.Load(),
 	}
 }
 

@@ -1,0 +1,75 @@
+package jobsvc
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// TestJobSurvivesChaosProfile runs a job through a manager in chaos mode
+// (the "hostile" faultform preset below the shared execution layer) and
+// asserts the job still delivers every requested sample, with the
+// injected misbehaviour visible on /metrics — the daemon-level version of
+// the scenario matrix's liveness guarantee.
+func TestJobSurvivesChaosProfile(t *testing.T) {
+	_, srv := newTarget(t, 400, 50, hiddendb.CountNone)
+	m := newTestManager(t, srv, Config{
+		FaultProfile: "hostile",
+		FaultSeed:    17,
+	})
+	v, err := m.Submit(Spec{URL: srv.URL, Connector: ConnectorAPI, N: 40, Workers: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitJob(t, m, v.ID, 30*time.Second, func(v View) bool { return v.State.Terminal() })
+	if v.State != StateCompleted {
+		t.Fatalf("job state %s (err=%q), want completed despite chaos", v.State, v.Error)
+	}
+	if v.Accepted != 40 {
+		t.Fatalf("accepted %d of 40 samples — chaos lost samples", v.Accepted)
+	}
+
+	hosts := m.Hosts()
+	if len(hosts) != 1 {
+		t.Fatalf("hosts = %d, want 1", len(hosts))
+	}
+	if hosts[0].Faults.Total() == 0 {
+		t.Fatal("chaos profile injected nothing — the wrapper is not in the stack")
+	}
+
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	NewHandler(m).ServeHTTP(rr, req)
+	body, _ := io.ReadAll(rr.Result().Body)
+	for _, metric := range []string{
+		"hdsamplerd_host_faults_injected_total",
+		"hdsamplerd_host_exec_transient_retries_total",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+}
+
+// TestUnknownFaultProfileDisablesInjection: the manager degrades to no
+// injection rather than failing jobs on a typo (the daemon validates the
+// flag up front; this is the library-level safety net).
+func TestUnknownFaultProfileDisablesInjection(t *testing.T) {
+	_, srv := newTarget(t, 200, 50, hiddendb.CountNone)
+	m := newTestManager(t, srv, Config{FaultProfile: "typo"})
+	v, err := m.Submit(Spec{URL: srv.URL, N: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitJob(t, m, v.ID, 20*time.Second, func(v View) bool { return v.State.Terminal() })
+	if v.State != StateCompleted {
+		t.Fatalf("job state %s (err=%q)", v.State, v.Error)
+	}
+	if got := m.Hosts()[0].Faults.Total(); got != 0 {
+		t.Fatalf("unknown profile injected %d faults", got)
+	}
+}

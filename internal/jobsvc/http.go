@@ -189,6 +189,30 @@ func writeMetrics(w http.ResponseWriter, m *Manager) {
 	for _, h := range hosts {
 		fmt.Fprintf(w, "hdsamplerd_host_exec_backoffs_total{host=%q} %d\n", h.Host, h.Backoffs)
 	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_transient_retries_total Wire executions repeated after transient interface faults (5xx blips, timeouts).")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_transient_retries_total counter")
+	for _, h := range hosts {
+		fmt.Fprintf(w, "hdsamplerd_host_exec_transient_retries_total{host=%q} %d\n", h.Host, h.TransientRetries)
+	}
+	fmt.Fprintln(w, "# HELP hdsamplerd_host_faults_injected_total Misbehaviour injected by the configured fault profile, by kind (zero without -fault-profile).")
+	fmt.Fprintln(w, "# TYPE hdsamplerd_host_faults_injected_total counter")
+	for _, h := range hosts {
+		f := h.Faults
+		for _, kv := range []struct {
+			kind string
+			n    int64
+		}{
+			{"rate_limited", f.RateLimited},
+			{"exhausted_429s", f.Exhausted429s},
+			{"transient", f.Transients},
+			{"jittered", f.Jittered},
+			{"reordered", f.Reordered},
+			{"rounded_counts", f.RoundedCounts},
+			{"slow_calls", f.SlowCalls},
+		} {
+			fmt.Fprintf(w, "hdsamplerd_host_faults_injected_total{host=%q,kind=%q} %d\n", h.Host, kv.kind, kv.n)
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

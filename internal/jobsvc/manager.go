@@ -16,6 +16,7 @@ import (
 
 	"hdsampler"
 	"hdsampler/internal/core"
+	"hdsampler/internal/faultform"
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/history"
 	"hdsampler/internal/metrics"
@@ -59,6 +60,18 @@ type Config struct {
 	// checkpoints, so a restarted daemon does not re-pay query bills the
 	// previous run already paid. Empty disables history persistence.
 	HistoryDir string
+	// FaultProfile, when naming a faultform preset other than "none",
+	// wraps every target connector in that adversarial profile — the
+	// daemon's chaos/staging mode: jobs run against a deliberately
+	// misbehaving interface (429 bursts, blips, jitter) so operators can
+	// prove the stack absorbs production-grade rudeness before pointing
+	// it at production. Injected fault counts surface per host on
+	// /metrics. Unknown names are rejected by cmd/hdsamplerd and ignored
+	// (with a log line) here.
+	FaultProfile string
+	// FaultSeed makes the injected misbehaviour reproducible; each target
+	// derives its own stream from this and its identity.
+	FaultSeed int64
 	// Client overrides the HTTP client used for target connectors
 	// (timeouts, proxies, test servers).
 	Client *http.Client
@@ -91,13 +104,15 @@ type hostEntry struct {
 }
 
 // target is one (connector kind, base URL) stack below the caches: the
-// raw formclient conn wrapped in the shared execution layer (coalescing,
-// batching, host-wide admission control). Caches are split by
-// TrustCounts because trusted and untrusted inference disagree.
+// raw formclient conn (optionally wrapped in the configured fault
+// profile) wrapped in the shared execution layer (coalescing, batching,
+// host-wide admission control). Caches are split by TrustCounts because
+// trusted and untrusted inference disagree.
 type target struct {
 	key    string // connector + "|" + URL, the checkpoint identity
 	conn   formclient.Conn
 	exec   *queryexec.Executor
+	fault  faultform.Faulty // nil without a fault profile
 	caches map[bool]*history.Cache
 }
 
@@ -217,12 +232,21 @@ func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.C
 		} else {
 			base = formclient.NewHTTP(spec.URL, opts)
 		}
+		var fault faultform.Faulty
+		if prof, ok := faultProfile(cfg); ok {
+			// Chaos mode: the adversarial wrapper plays the misbehaving
+			// site, below the execution layer, so the AIMD limiter and the
+			// retry paths absorb the injected rudeness exactly as they
+			// would the real thing.
+			fault = faultform.Wrap(base, prof, faultSeed(cfg.FaultSeed, key))
+			base = fault
+		}
 		exec := queryexec.New(base, queryexec.Options{
 			BatchLinger: cfg.BatchLinger,
 			MaxBatch:    cfg.BatchMax,
 			Limiter:     he.limiter,
 		})
-		tg = &target{key: key, conn: exec, exec: exec, caches: make(map[bool]*history.Cache)}
+		tg = &target{key: key, conn: exec, exec: exec, fault: fault, caches: make(map[bool]*history.Cache)}
 		he.targets[key] = tg
 	}
 	var conn formclient.Conn = tg.conn
@@ -260,6 +284,29 @@ func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.C
 		conn = &budgetConn{inner: conn, budget: spec.MaxQueries}
 	}
 	return conn, cache
+}
+
+// faultProfile resolves the configured fault preset; ok is false when
+// injection is off (empty, "none", or an unknown name — logged once per
+// submit path would be noisy, so unknown names log here and disable).
+func faultProfile(cfg Config) (faultform.Profile, bool) {
+	if cfg.FaultProfile == "" || cfg.FaultProfile == "none" {
+		return faultform.Profile{}, false
+	}
+	p, ok := faultform.Preset(cfg.FaultProfile)
+	if !ok {
+		log.Printf("jobsvc: unknown fault profile %q (want one of %v); fault injection disabled", cfg.FaultProfile, faultform.PresetNames())
+		return faultform.Profile{}, false
+	}
+	return p, true
+}
+
+// faultSeed derives a target's fault stream from the daemon seed and the
+// target identity, so two targets never replay one misbehaviour script.
+func faultSeed(seed int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return seed ^ int64(h.Sum64())
 }
 
 // historySource names one cache identity for checkpointing: the target
@@ -653,10 +700,16 @@ type HostStats struct {
 	// execution-layer savings: queries answered by joining identical
 	// in-flight queries, queries shipped inside shared batch requests,
 	// the batch wire requests themselves, and total wire executions.
-	Coalesced     int64 `json:"coalesced"`
-	Batched       int64 `json:"batched"`
-	BatchRequests int64 `json:"batch_requests"`
-	WireCalls     int64 `json:"wire_calls"`
+	// TransientRetries counts wire executions the layer repeated after
+	// transient interface faults.
+	Coalesced        int64 `json:"coalesced"`
+	Batched          int64 `json:"batched"`
+	BatchRequests    int64 `json:"batch_requests"`
+	WireCalls        int64 `json:"wire_calls"`
+	TransientRetries int64 `json:"transient_retries"`
+	// Faults sums the misbehaviour the configured fault profile injected
+	// into this host's targets (all zero without a profile).
+	Faults faultform.Stats `json:"faults"`
 	// InFlight and Limit snapshot the host's admission controller: wire
 	// requests currently running and the AIMD concurrency window (0 when
 	// concurrency limiting is off). Backoffs counts 429-pushback window
@@ -698,6 +751,17 @@ func (m *Manager) Hosts() []HostStats {
 			hs.Batched += xs.Batched
 			hs.BatchRequests += xs.BatchRequests
 			hs.WireCalls += xs.WireCalls
+			hs.TransientRetries += xs.TransientRetries
+			if tg.fault != nil {
+				fs := tg.fault.FaultStats()
+				hs.Faults.RateLimited += fs.RateLimited
+				hs.Faults.Exhausted429s += fs.Exhausted429s
+				hs.Faults.Transients += fs.Transients
+				hs.Faults.Jittered += fs.Jittered
+				hs.Faults.Reordered += fs.Reordered
+				hs.Faults.RoundedCounts += fs.RoundedCounts
+				hs.Faults.SlowCalls += fs.SlowCalls
+			}
 			for _, c := range tg.caches {
 				caches = append(caches, c)
 			}

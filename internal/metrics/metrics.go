@@ -125,6 +125,32 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// KS returns the Kolmogorov–Smirnov statistic between two distributions
+// over the same ordered support: the maximum absolute difference of their
+// cumulative sums. For discrete supports (tuple IDs) it complements the
+// chi-square test: chi-square is sensitive to any per-cell distortion, KS
+// to systematic drift across the support's order.
+func KS(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("metrics: KS over mismatched lengths %d, %d", len(p), len(q)))
+	}
+	var cp, cq, max float64
+	for i := range p {
+		cp += p[i]
+		cq += q[i]
+		if d := math.Abs(cp - cq); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// KSFromCounts normalizes observed counts and compares them to a target
+// distribution.
+func KSFromCounts(counts []int, want []float64) float64 {
+	return KS(Normalize(counts), want)
+}
+
 // ChiSquareStat returns Σ (obs−exp)²/exp over cells with positive expected
 // count; cells with exp <= 0 are skipped.
 func ChiSquareStat(obs []int, expected []float64) float64 {

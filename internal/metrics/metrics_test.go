@@ -69,6 +69,42 @@ func TestMeanStdDevCV(t *testing.T) {
 	}
 }
 
+func TestKS(t *testing.T) {
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := KS(uniform, uniform); got != 0 {
+		t.Fatalf("KS(p,p) = %g, want 0", got)
+	}
+	// All mass shifted to the last cell: max CDF gap is 0.75 (after cell 3).
+	shifted := []float64{0, 0, 0, 1}
+	if got := KS(uniform, shifted); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("KS = %g, want 0.75", got)
+	}
+	if got := KS(shifted, uniform); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("KS not symmetric: %g", got)
+	}
+	// A local swap registers smaller drift than a systematic shift.
+	swap := []float64{0.25, 0.3, 0.2, 0.25}
+	if a, b := KS(uniform, swap), KS(uniform, shifted); a >= b {
+		t.Fatalf("local perturbation KS %g >= systematic shift KS %g", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	KS([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestKSFromCounts(t *testing.T) {
+	want := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := KSFromCounts([]int{10, 10, 10, 10}, want); got != 0 {
+		t.Fatalf("KSFromCounts = %g, want 0", got)
+	}
+	if got := KSFromCounts([]int{40, 0, 0, 0}, want); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("KSFromCounts = %g, want 0.75", got)
+	}
+}
+
 func TestChiSquareStat(t *testing.T) {
 	// Textbook: obs (8,12), exp (10,10) -> 0.4+0.4 = 0.8.
 	if got := ChiSquareStat([]int{8, 12}, []float64{10, 10}); !almost(got, 0.8, 1e-12) {

@@ -55,6 +55,15 @@ type Options struct {
 	// Limiter is the shared per-host admission controller; nil runs
 	// unlimited.
 	Limiter *Limiter
+	// TransientRetries bounds how many times a wire execution that failed
+	// with formclient.ErrTransient (a 5xx blip, a timed-out request, an
+	// injected fault) is retried before the error propagates — without it,
+	// one blip kills the leader's walk AND every follower coalesced onto
+	// the same flight. Default 2; negative disables retrying.
+	TransientRetries int
+	// Sleep paces transient-retry backoff, overridable by tests; defaults
+	// to a context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
 }
 
 // Stats counts the execution layer's work.
@@ -71,6 +80,9 @@ type Stats struct {
 	// WireCalls counts wire executions: single-query requests plus batch
 	// requests (each batch is one).
 	WireCalls int64
+	// TransientRetries counts wire executions repeated after a transient
+	// interface fault (formclient.ErrTransient).
+	TransientRetries int64
 }
 
 // Executor is a formclient.Conn decorator implementing the execution
@@ -90,11 +102,12 @@ type Executor struct {
 
 	lastRetries atomic.Int64
 
-	queries   atomic.Int64
-	coalesced atomic.Int64
-	batched   atomic.Int64
-	batchReqs atomic.Int64
-	wire      atomic.Int64
+	queries    atomic.Int64
+	coalesced  atomic.Int64
+	batched    atomic.Int64
+	batchReqs  atomic.Int64
+	wire       atomic.Int64
+	transients atomic.Int64
 }
 
 // call is one in-flight single-flight execution. Calls live in a map
@@ -160,6 +173,14 @@ func New(inner formclient.Conn, opts Options) *Executor {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 16
 	}
+	if opts.TransientRetries == 0 {
+		opts.TransientRetries = 2
+	} else if opts.TransientRetries < 0 {
+		opts.TransientRetries = 0
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = sleepCtx
+	}
 	x := &Executor{inner: inner, opts: opts, calls: make(map[uint64]*call)}
 	// Snapshot the connector's retry counter: pre-existing 429 history on
 	// a reused connector is not congestion this executor caused.
@@ -185,11 +206,12 @@ func (x *Executor) Stats() formclient.Stats { return x.inner.Stats() }
 // ExecStats returns the layer's coalescing/batching counters.
 func (x *Executor) ExecStats() Stats {
 	return Stats{
-		Queries:       x.queries.Load(),
-		Coalesced:     x.coalesced.Load(),
-		Batched:       x.batched.Load(),
-		BatchRequests: x.batchReqs.Load(),
-		WireCalls:     x.wire.Load(),
+		Queries:          x.queries.Load(),
+		Coalesced:        x.coalesced.Load(),
+		Batched:          x.batched.Load(),
+		BatchRequests:    x.batchReqs.Load(),
+		WireCalls:        x.wire.Load(),
+		TransientRetries: x.transients.Load(),
 	}
 }
 
@@ -254,15 +276,43 @@ func (x *Executor) execLeader(ctx context.Context, q hiddendb.Query) (*hiddendb.
 	return x.enqueue(ctx, q)
 }
 
-// execDirect issues one single-query wire request under the limiter.
+// execDirect issues one single-query wire request under the limiter,
+// retrying transient interface faults within the configured budget. The
+// admission slot is held only for the wire call itself — a backoff sleep
+// must not starve other queries of the window.
 func (x *Executor) execDirect(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
-	if err := x.opts.Limiter.Acquire(ctx); err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		if err := x.opts.Limiter.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		res, err := x.inner.Execute(ctx, q)
+		x.wire.Add(1)
+		x.opts.Limiter.Release(x.clean(err))
+		if !x.retryable(ctx, err, attempt) {
+			return res, err
+		}
+		x.transients.Add(1)
+		if serr := x.opts.Sleep(ctx, transientBackoff(attempt)); serr != nil {
+			return nil, serr
+		}
 	}
-	res, err := x.inner.Execute(ctx, q)
-	x.wire.Add(1)
-	x.opts.Limiter.Release(x.clean(err))
-	return res, err
+}
+
+// retryable reports whether a failed wire execution should be repeated:
+// only transient faults, only within the budget, and never once the
+// caller's context is gone.
+func (x *Executor) retryable(ctx context.Context, err error, attempt int) bool {
+	return err != nil && attempt < x.opts.TransientRetries &&
+		errors.Is(err, formclient.ErrTransient) && ctx.Err() == nil
+}
+
+// transientBackoff spaces retry attempts: short, because blips are short.
+func transientBackoff(attempt int) time.Duration {
+	d := 2 * time.Millisecond << attempt
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
 }
 
 // clean reports whether a wire interaction ran free of rate-limit
@@ -344,14 +394,29 @@ func (x *Executor) run(ctx context.Context, batch []*pendingQuery) {
 		qs[i] = p.q
 	}
 	var results []*hiddendb.Result
-	err := x.opts.Limiter.Acquire(ctx)
-	if err == nil {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = x.opts.Limiter.Acquire(ctx)
+		if err != nil {
+			break
+		}
 		results, err = x.batch.ExecuteBatch(ctx, qs)
 		x.wire.Add(1)
 		x.batchReqs.Add(1)
 		x.opts.Limiter.Release(x.clean(err))
 		if err == nil && len(results) != len(batch) {
 			err = fmt.Errorf("queryexec: batch answered %d of %d queries", len(results), len(batch))
+		}
+		// A transient fault fails the whole batch wire request; retry it as
+		// a unit before falling back to per-query execution, so one blip
+		// does not cost a full batch's worth of unbatched wire calls.
+		if !x.retryable(ctx, err, attempt) {
+			break
+		}
+		x.transients.Add(1)
+		if serr := x.opts.Sleep(ctx, transientBackoff(attempt)); serr != nil {
+			err = serr
+			break
 		}
 	}
 	for i, p := range batch {

@@ -1,0 +1,91 @@
+package webform
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// TestFaultInjection5xxBurstThenRecovery: a blip-hit query answers 503
+// for its burst, then recovers — deterministically for a given seed — and
+// other queries flow untouched.
+func TestFaultInjection5xxBurstThenRecovery(t *testing.T) {
+	db := testDB(t, 3, hiddendb.CountNone)
+	srv := httptest.NewServer(NewServer(db, Options{
+		Fault: &FaultConfig{Seed: 9, Prob5xx: 1, Burst5xx: 2},
+	}))
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for i := 0; i < 2; i++ {
+		if code := get("/search?make=1"); code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want 503", i, code)
+		}
+	}
+	if code := get("/search?make=1"); code != http.StatusOK {
+		t.Fatalf("post-burst request: status %d, want 200", code)
+	}
+	// The burst stays consumed.
+	if code := get("/search?make=1"); code != http.StatusOK {
+		t.Fatalf("burst resurrected: status %d", code)
+	}
+	// The form page itself is never fault-intercepted: schema discovery
+	// keeps working while the query endpoints blip.
+	if code := get("/"); code != http.StatusOK {
+		t.Fatalf("form page: status %d, want 200", code)
+	}
+}
+
+// TestFaultInjectionProbabilisticAndDeterministic: with a partial
+// probability some queries blip and some do not, and two servers with one
+// seed agree exactly on which.
+func TestFaultInjectionProbabilisticAndDeterministic(t *testing.T) {
+	db := testDB(t, 3, hiddendb.CountNone)
+	status := func(seed int64) []int {
+		srv := httptest.NewServer(NewServer(db, Options{
+			Fault: &FaultConfig{Seed: seed, Prob5xx: 0.5, Burst5xx: 1},
+		}))
+		defer srv.Close()
+		var codes []int
+		for v := 0; v < 3; v++ {
+			for u := 0; u < 2; u++ {
+				resp, err := http.Get(srv.URL + fmt.Sprintf("/api/search?make=%d&used=%d", v, u))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				codes = append(codes, resp.StatusCode)
+			}
+		}
+		return codes
+	}
+	a := status(7)
+	b := status(7)
+	blips, oks := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d: seed-7 runs disagree: %d vs %d", i, a[i], b[i])
+		}
+		switch a[i] {
+		case http.StatusServiceUnavailable:
+			blips++
+		case http.StatusOK:
+			oks++
+		}
+	}
+	if blips == 0 || oks == 0 {
+		t.Fatalf("prob 0.5 produced %d blips / %d oks over %d queries", blips, oks, len(a))
+	}
+}

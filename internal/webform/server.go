@@ -41,6 +41,9 @@ type Options struct {
 	// rate-limit charge — that is the endpoint's point — so the bound is
 	// what keeps a batch from becoming a free crawl.
 	MaxBatch int
+	// Fault, when set, injects deterministic misbehaviour (5xx blips,
+	// latency) into the query endpoints; see FaultConfig.
+	Fault *FaultConfig
 	// Now lets tests control time; defaults to time.Now.
 	Now func() time.Time
 }
@@ -53,6 +56,8 @@ type Server struct {
 
 	mu      sync.Mutex
 	buckets map[string]*bucket
+
+	faults faultState
 }
 
 // NewServer builds the handler for db.
@@ -67,6 +72,7 @@ func NewServer(db *hiddendb.DB, opts Options) *Server {
 		opts.Now = time.Now
 	}
 	s := &Server{db: db, opts: opts, buckets: make(map[string]*bucket)}
+	s.faults.blip = make(map[uint64]int)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/", s.handleForm)
 	s.mux.HandleFunc("/search", s.handleSearch)
@@ -250,7 +256,7 @@ type resultRow struct {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if s.rateLimited(w, r) {
+	if s.intercept(w, r) || s.rateLimited(w, r) {
 		return
 	}
 	q, err := s.parseQuery(r)
@@ -414,7 +420,7 @@ type apiRow struct {
 }
 
 func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
-	if s.rateLimited(w, r) {
+	if s.intercept(w, r) || s.rateLimited(w, r) {
 		return
 	}
 	q, err := s.parseQuery(r)
@@ -470,7 +476,7 @@ type batchResponse struct {
 // micro-batching layer. Each query is validated like a form submission;
 // one bad query fails the whole batch (the client retries unbatched).
 func (s *Server) handleAPIBatch(w http.ResponseWriter, r *http.Request) {
-	if s.rateLimited(w, r) {
+	if s.intercept(w, r) || s.rateLimited(w, r) {
 		return
 	}
 	var req batchRequest

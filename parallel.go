@@ -219,6 +219,7 @@ func (rs *ReplicaSet) Progress() Stats {
 		xs := rs.exec.ExecStats()
 		st.QueriesCoalesced = xs.Coalesced
 		st.QueriesBatched = xs.Batched
+		st.QueriesRetried = xs.TransientRetries
 	}
 	return st
 }

@@ -24,6 +24,7 @@ import (
 	"hdsampler/internal/history"
 	"hdsampler/internal/htmlx"
 	"hdsampler/internal/queryexec"
+	"hdsampler/internal/telemetry"
 )
 
 // benchExperiment runs one experiment per iteration and reports its
@@ -276,6 +277,45 @@ func BenchmarkWalkEndToEnd(b *testing.B) {
 	if _, _, err := s.Draw(ctx, b.N); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkTelemetryOverhead measures what instrumentation costs the
+// BenchmarkWalkEndToEnd hot path: "off" runs with no observer installed
+// (the baseline every earlier PR measured), "sampled-1pct" with the full
+// telemetry stack attached — walk-duration histogram, slow-walk
+// thresholds, and a tracer sampling 1% of draws. cmd/benchgate gates the
+// pair, so a telemetry change that taxes the untraced path shows up as a
+// regression of either sub-benchmark.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, obs *telemetry.WalkObserver) {
+		db := benchVehiclesDB(b, 20000, 1000, hiddendb.CountNone)
+		ctx := context.Background()
+		s, err := New(ctx, LocalConn(db), Config{
+			Seed: 7, Slider: 0.9, K: 1000, UseHistory: true, ShuffleOrder: true,
+			Exec: ExecConfig{MaxInFlight: 64},
+			Obs:  obs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Draw(ctx, 10); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if _, _, err := s.Draw(ctx, b.N); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("sampled-1pct", func(b *testing.B) {
+		run(b, &telemetry.WalkObserver{
+			Tracer:      telemetry.NewTracer(telemetry.TracerOptions{Rate: 0.01, Seed: 7, Capacity: 128}),
+			Duration:    &telemetry.Histogram{},
+			SlowWalk:    5 * time.Second,
+			SlowQueries: 10000,
+		})
+	})
 }
 
 func BenchmarkTableExecLayer(b *testing.B) { benchExperiment(b, "exec") }

@@ -31,16 +31,68 @@ import (
 	"strings"
 	"time"
 
+	"hdsampler"
+	"hdsampler/internal/datagen"
 	"hdsampler/internal/experiments"
+	"hdsampler/internal/hiddendb"
 	"hdsampler/internal/scenario"
+	"hdsampler/internal/telemetry"
 )
 
 // benchReport is the machine-readable run record -json writes, so the
 // perf trajectory (BENCH_*.json) can be compared across PRs.
 type benchReport struct {
-	GeneratedAt time.Time     `json:"generated_at"`
-	Scale       string        `json:"scale"`
-	Results     []benchResult `json:"results"`
+	GeneratedAt time.Time        `json:"generated_at"`
+	Scale       string           `json:"scale"`
+	Results     []benchResult    `json:"results"`
+	Telemetry   *telemetryReport `json:"telemetry,omitempty"`
+}
+
+// telemetryReport is the instrumented reference draw recorded alongside
+// the experiment results: whole-walk latency quantiles from the telemetry
+// histograms plus a handful of fully traced walks, so each archived
+// BENCH_*.json also tracks what the observability layer itself measures.
+type telemetryReport struct {
+	Samples     int                   `json:"samples"`
+	Walk        telemetry.Summary     `json:"walk_latency"`
+	TracedWalks int64                 `json:"traced_walks"`
+	Traces      []telemetry.TraceView `json:"traces,omitempty"`
+}
+
+// telemetrySnapshot runs a small fully-traced reference draw over an
+// in-process vehicles database through the production stack (history
+// cache + execution layer) and packages the telemetry it produced.
+func telemetrySnapshot(seed int64) (*telemetryReport, error) {
+	const n = 150
+	ds := datagen.Vehicles(20000, seed)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 1000})
+	if err != nil {
+		return nil, err
+	}
+	walkHist := &telemetry.Histogram{}
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Rate: 1, Seed: uint64(seed), Capacity: 64})
+	ctx := context.Background()
+	s, err := hdsampler.New(ctx, hdsampler.LocalConn(db), hdsampler.Config{
+		Seed: seed, Slider: 0.9, K: 1000, UseHistory: true, ShuffleOrder: true,
+		Exec: hdsampler.ExecConfig{MaxInFlight: 16},
+		Obs:  &telemetry.WalkObserver{Tracer: tracer, Duration: walkHist},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := s.Draw(ctx, n); err != nil {
+		return nil, err
+	}
+	traces := tracer.Dump()
+	if len(traces) > 5 {
+		traces = traces[len(traces)-5:]
+	}
+	return &telemetryReport{
+		Samples:     n,
+		Walk:        walkHist.Snapshot().Summary(),
+		TracedWalks: tracer.Stats().Finished,
+		Traces:      traces,
+	}, nil
 }
 
 type benchResult struct {
@@ -177,6 +229,15 @@ func main() {
 		report.Results = append(report.Results, res)
 	}
 	if *jsonF != "" {
+		tele, err := telemetrySnapshot(*seedF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry snapshot: %v\n", err)
+			failed++
+		} else {
+			report.Telemetry = tele
+			fmt.Fprintf(os.Stderr, "telemetry: %d draws traced, walk p50=%.3fms p99=%.3fms max=%.3fms\n",
+				tele.TracedWalks, tele.Walk.P50MS, tele.Walk.P99MS, tele.Walk.MaxMS)
+		}
 		if err := writeReport(*jsonF, &report); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonF, err)
 			failed++

@@ -15,6 +15,7 @@
 //	curl localhost:8099/jobs/j-0001/samples > samples.json
 //	curl -X DELETE localhost:8099/jobs/j-0001
 //	curl localhost:8099/metrics
+//	curl localhost:8099/debug/walks
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: workers drain and
 // partial sample sets are persisted.
@@ -24,8 +25,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -34,6 +37,7 @@ import (
 	"hdsampler/internal/faultform"
 	"hdsampler/internal/jobsvc"
 	"hdsampler/internal/pprofserve"
+	"hdsampler/internal/telemetry"
 )
 
 func main() {
@@ -52,10 +56,24 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for reproducible fault injection")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		pprofAddr    = flag.String("pprof", "", "listen address for net/http/pprof profiling, e.g. localhost:6060 (empty = disabled)")
+		traceRate    = flag.Float64("trace-rate", 0.01, "fraction of candidate draws traced end-to-end on /debug/walks (0 = off, 1 = every walk)")
+		traceBuffer  = flag.Int("trace-buffer", 128, "finished walk traces retained in the ring buffer")
+		slowWalk     = flag.Duration("slow-walk", 0, "log candidate draws slower than this, e.g. 2s (0 = off)")
+		slowQueries  = flag.Int("slow-walk-queries", 0, "log candidate draws spending at least this many interface queries (0 = off)")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logFormat    = flag.String("log-format", "text", "log output format: text | json")
 	)
 	flag.Parse()
+	base, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdsamplerd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(base)
+	lg := base.With("component", "hdsamplerd")
 	if _, ok := faultform.Preset(*faultProf); !ok {
-		log.Fatalf("hdsamplerd: unknown -fault-profile %q (want one of %v)", *faultProf, faultform.PresetNames())
+		lg.Error("unknown -fault-profile", "profile", *faultProf, "known", fmt.Sprint(faultform.PresetNames()))
+		os.Exit(2)
 	}
 	pprofserve.Start("hdsamplerd", *pprofAddr)
 
@@ -71,6 +89,11 @@ func main() {
 		HistoryDir:      *histDir,
 		FaultProfile:    *faultProf,
 		FaultSeed:       *faultSeed,
+		TraceSampleRate: *traceRate,
+		TraceCapacity:   *traceBuffer,
+		SlowWalk:        *slowWalk,
+		SlowWalkQueries: *slowQueries,
+		Logger:          base,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -78,25 +101,26 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("hdsamplerd: listening on %s (max-jobs=%d, host-rate=%g/s, data=%q)",
-		*addr, *maxJobs, *hostRate, *dataDir)
+	lg.Info("listening", "addr", *addr, "max_jobs", *maxJobs,
+		"host_rate", *hostRate, "data", *dataDir, "trace_rate", *traceRate)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("hdsamplerd: %v", err)
+		lg.Error("server failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("hdsamplerd: shutting down (draining up to %s)...", *drain)
+	lg.Info("shutting down", "drain", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("hdsamplerd: http shutdown: %v", err)
+		lg.Warn("http shutdown", "error", err)
 	}
 	if err := mgr.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("hdsamplerd: job drain: %v", err)
+		lg.Warn("job drain", "error", err)
 	}
-	log.Printf("hdsamplerd: bye")
+	lg.Info("bye")
 }
 
 // newDaemon wires the job manager and its HTTP server.

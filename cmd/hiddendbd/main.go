@@ -10,7 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -19,6 +19,7 @@ import (
 	"hdsampler/internal/datagen"
 	"hdsampler/internal/hiddendb"
 	"hdsampler/internal/pprofserve"
+	"hdsampler/internal/telemetry"
 	"hdsampler/internal/webform"
 )
 
@@ -38,11 +39,19 @@ func main() {
 		budget    = flag.Int64("budget", 0, "total query budget (0 = unlimited)")
 		maxBatch  = flag.Int("max-batch", 16, "max queries per /api/search/batch request")
 		pprofAddr = flag.String("pprof", "", "listen address for net/http/pprof profiling, e.g. localhost:6061 (empty = disabled)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
 	)
 	flag.Parse()
+	lg, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hiddendbd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(lg)
+	lg = lg.With("component", "hiddendbd")
 
 	var ds *datagen.Dataset
-	var err error
 	if *csvPath != "" {
 		ds, err = loadCSV(*csvPath)
 	} else {
@@ -64,11 +73,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	srv := webform.NewServer(db, webform.Options{RatePerSec: *rate, Burst: *burst, MaxBatch: *maxBatch})
+	// The interface's own observability: request counters, rate-limit
+	// rejections and request latency, served on /metrics beside the form.
+	reg := telemetry.NewRegistry()
+	srv := webform.NewServer(db, webform.Options{
+		RatePerSec: *rate, Burst: *burst, MaxBatch: *maxBatch, Metrics: reg,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", srv)
 	pprofserve.Start("hiddendbd", *pprofAddr)
-	log.Printf("hiddendbd: serving %q (%d tuples, k=%d, counts=%s) on %s",
-		ds.Schema.Name, db.Size(), db.K(), mode, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	lg.Info("serving", "dataset", ds.Schema.Name, "tuples", db.Size(),
+		"k", db.K(), "counts", mode.String(), "addr", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		lg.Error("server failed", "error", err)
+		os.Exit(1)
+	}
 }
 
 // loadCSV serves user data: schema and domains are inferred from the file.
@@ -83,7 +103,7 @@ func loadCSV(path string) (*datagen.Dataset, error) {
 		return nil, err
 	}
 	if len(skipped) > 0 {
-		log.Printf("hiddendbd: skipped constant columns: %s", strings.Join(skipped, ", "))
+		slog.Warn("skipped constant columns", "component", "hiddendbd", "columns", strings.Join(skipped, ", "))
 	}
 	return ds, nil
 }

@@ -12,6 +12,7 @@ import (
 	"hdsampler/internal/hiddendb"
 	"hdsampler/internal/history"
 	"hdsampler/internal/queryexec"
+	"hdsampler/internal/telemetry"
 )
 
 // Re-exported types so callers need only this package for common use.
@@ -186,6 +187,11 @@ type Config struct {
 	// goroutine has nothing to coalesce or batch); ReplicaSet and
 	// DrawParallel always route through it unless Disable is set.
 	Exec ExecConfig
+	// Obs observes candidate draws: walk-duration histogram, sampled walk
+	// tracing, and the slow-walk log. The observer's instruments are
+	// concurrency-safe, so ReplicaSet shares one observer across all
+	// replicas. Nil disables observation (the zero-overhead default).
+	Obs *telemetry.WalkObserver
 }
 
 // Stats summarizes a Draw call.
@@ -254,7 +260,7 @@ func New(ctx context.Context, conn Conn, cfg Config) (*Sampler, error) {
 	switch cfg.Method {
 	case MethodRandomWalk:
 		s.gen, err = core.NewWalker(ctx, effective, core.WalkerConfig{
-			Seed: cfg.Seed, Order: order, Attrs: cfg.Attrs,
+			Seed: cfg.Seed, Order: order, Attrs: cfg.Attrs, Obs: cfg.Obs,
 		})
 	case MethodBruteForce:
 		s.gen, err = core.NewBruteForce(ctx, effective, core.BruteForceConfig{
@@ -263,7 +269,7 @@ func New(ctx context.Context, conn Conn, cfg Config) (*Sampler, error) {
 	case MethodCountWeighted:
 		s.gen, err = core.NewCountWalker(ctx, effective, core.CountWalkerConfig{
 			Seed: cfg.Seed, Order: order, Attrs: cfg.Attrs,
-			UseParentCount: cfg.UseParentCount,
+			UseParentCount: cfg.UseParentCount, Obs: cfg.Obs,
 		})
 	default:
 		return nil, fmt.Errorf("hdsampler: unknown method %v", cfg.Method)

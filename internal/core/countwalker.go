@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/telemetry"
 )
 
 // CountWalkerConfig tunes the count-weighted drill-down sampler.
@@ -26,6 +28,9 @@ type CountWalkerConfig struct {
 	// ends only occur when the interface's counts are inconsistent with
 	// its rows.
 	MaxRestarts int
+	// Obs observes candidate draws (latency histogram, walk tracing,
+	// slow-walk log); nil disables observation.
+	Obs *telemetry.WalkObserver
 }
 
 // CountWalker drills down weighting each branch by the interface-reported
@@ -79,29 +84,43 @@ func (c *CountWalker) GenStats() GenStats { return c.stats.snapshot() }
 
 // Candidate implements Generator.
 func (c *CountWalker) Candidate(ctx context.Context) (*Candidate, error) {
+	sp, ctx := c.cfg.Obs.Begin(ctx, "weighted")
 	restarts := 0
 	queries := 0
 	for restarts < c.cfg.MaxRestarts {
-		cand, q, err := c.walkOnce(ctx)
+		cand, q, err := c.walkOnce(ctx, sp.Trace(), restarts)
 		queries += q
 		if err != nil {
+			sp.End(queries, restarts, false, err)
 			return nil, err
 		}
 		if cand != nil {
 			cand.Queries = queries
 			cand.Restarts = restarts
 			c.stats.candidates.Add(1)
+			cand.Trace = sp.End(queries, restarts, true, nil)
 			return cand, nil
 		}
 		restarts++
 		c.stats.restarts.Add(1)
 	}
+	sp.End(queries, restarts, false, ErrNoCandidate)
 	return nil, ErrNoCandidate
 }
 
-// exec issues one query, tracking stats.
-func (c *CountWalker) exec(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
-	res, err := c.conn.Execute(ctx, q)
+// exec issues one query, tracking stats and — on traced walks — a level
+// span identifying the probe (value is -1 for the root probe).
+func (c *CountWalker) exec(ctx context.Context, tr *telemetry.WalkTrace, walk, depth, attr, value int, q hiddendb.Query) (*hiddendb.Result, error) {
+	var res *hiddendb.Result
+	var err error
+	if tr != nil {
+		tr.BeginLevel(walk, depth, attr, value)
+		start := time.Now()
+		res, err = c.conn.Execute(ctx, q)
+		tr.EndLevel(levelOutcome(res, err), time.Since(start))
+	} else {
+		res, err = c.conn.Execute(ctx, q)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +128,7 @@ func (c *CountWalker) exec(ctx context.Context, q hiddendb.Query) (*hiddendb.Res
 	return res, nil
 }
 
-func (c *CountWalker) walkOnce(ctx context.Context) (*Candidate, int, error) {
+func (c *CountWalker) walkOnce(ctx context.Context, tr *telemetry.WalkTrace, walk int) (*Candidate, int, error) {
 	c.stats.walks.Add(1)
 	startQueries := c.stats.queries.Load()
 
@@ -125,7 +144,7 @@ func (c *CountWalker) walkOnce(ctx context.Context) (*Candidate, int, error) {
 	parentCount := -1
 
 	if c.cfg.UseParentCount {
-		root, err := c.exec(ctx, q)
+		root, err := c.exec(ctx, tr, walk, 0, -1, -1, q)
 		if err != nil {
 			return nil, c.walkCost(startQueries), err
 		}
@@ -164,7 +183,7 @@ func (c *CountWalker) walkOnce(ctx context.Context) (*Candidate, int, error) {
 				weights[v] = w
 				continue
 			}
-			res, err := c.exec(ctx, q.With(attr, v))
+			res, err := c.exec(ctx, tr, walk, depth, attr, v, q.With(attr, v))
 			if err != nil {
 				return nil, c.walkCost(startQueries), err
 			}
@@ -192,7 +211,7 @@ func (c *CountWalker) walkOnce(ctx context.Context) (*Candidate, int, error) {
 		res := results[v]
 		if res == nil { // the inferred child: fetch it now that it is chosen
 			var err error
-			res, err = c.exec(ctx, q)
+			res, err = c.exec(ctx, tr, walk, depth, attr, v, q)
 			if err != nil {
 				return nil, c.walkCost(startQueries), err
 			}

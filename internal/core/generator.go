@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/telemetry"
 )
 
 // ErrNoCandidate is returned when a generator exhausts its restart budget
@@ -45,6 +46,10 @@ type Candidate struct {
 	Depth int
 	// Restarts is the number of dead-end walks before this candidate.
 	Restarts int
+	// Trace is the walk's telemetry trace when this draw was sampled for
+	// tracing (nil otherwise). The acceptance/rejection stage records its
+	// decision on it and finishes it.
+	Trace *telemetry.WalkTrace
 }
 
 // Generator produces candidate samples. Implementations are not safe for

@@ -121,9 +121,11 @@ func (p *Pipeline) Start(ctx context.Context) <-chan Sample {
 		for cand := range candidates {
 			p.queries.Add(int64(cand.Queries))
 			if p.rej != nil && !p.rej.Accept(cand) {
+				cand.Trace.Decide(false)
 				p.rejected.Add(1)
 				continue
 			}
+			cand.Trace.Decide(true)
 			p.accepted.Add(1)
 			s := Sample{Tuple: cand.Tuple, Reach: cand.Reach, Queries: cand.Queries}
 			select {
@@ -205,9 +207,11 @@ func Collect(ctx context.Context, gen Generator, rej Acceptor, n int) ([]hiddend
 		}
 		stats.Candidates++
 		if rej != nil && !rej.Accept(cand) {
+			cand.Trace.Decide(false)
 			stats.Rejected++
 			continue
 		}
+		cand.Trace.Decide(true)
 		stats.Accepted++
 		out = append(out, cand.Tuple)
 	}

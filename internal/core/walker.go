@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/telemetry"
 )
 
 // Order selects how the random walk orders attributes.
@@ -41,6 +43,9 @@ type WalkerConfig struct {
 	Attrs []int
 	// MaxRestarts bounds dead-end walks per candidate; 0 means 100000.
 	MaxRestarts int
+	// Obs observes candidate draws (latency histogram, walk tracing,
+	// slow-walk log); nil disables observation.
+	Obs *telemetry.WalkObserver
 }
 
 // Walker implements HIDDEN-DB-SAMPLER: a random drill-down from broad,
@@ -98,29 +103,33 @@ func (w *Walker) GenStats() GenStats { return w.stats.snapshot() }
 // Candidate implements Generator: it repeats random walks until one yields
 // a candidate.
 func (w *Walker) Candidate(ctx context.Context) (*Candidate, error) {
+	sp, ctx := w.cfg.Obs.Begin(ctx, "walk")
 	restarts := 0
 	queries := 0
 	for restarts < w.cfg.MaxRestarts {
-		cand, q, err := w.walkOnce(ctx)
+		cand, q, err := w.walkOnce(ctx, sp.Trace(), restarts)
 		queries += q
 		if err != nil {
+			sp.End(queries, restarts, false, err)
 			return nil, err
 		}
 		if cand != nil {
 			cand.Queries = queries
 			cand.Restarts = restarts
 			w.stats.candidates.Add(1)
+			cand.Trace = sp.End(queries, restarts, true, nil)
 			return cand, nil
 		}
 		restarts++
 		w.stats.restarts.Add(1)
 	}
+	sp.End(queries, restarts, false, ErrNoCandidate)
 	return nil, ErrNoCandidate
 }
 
-// walkOnce performs one drill-down. It returns (nil, queries, nil) on a
-// dead end.
-func (w *Walker) walkOnce(ctx context.Context) (*Candidate, int, error) {
+// walkOnce performs one drill-down, recording per-level spans on tr when
+// the draw is traced. It returns (nil, queries, nil) on a dead end.
+func (w *Walker) walkOnce(ctx context.Context, tr *telemetry.WalkTrace, walk int) (*Candidate, int, error) {
 	w.stats.walks.Add(1)
 	order := w.attrs
 	if w.cfg.Order == OrderShuffle {
@@ -141,7 +150,17 @@ func (w *Walker) walkOnce(ctx context.Context) (*Candidate, int, error) {
 		}
 		pathProb /= float64(dom)
 
-		res, err := w.conn.Execute(ctx, q)
+		var res *hiddendb.Result
+		if tr != nil {
+			// Per-level timing runs only on traced walks; the untraced hot
+			// path reads no clocks.
+			tr.BeginLevel(walk, depth, attr, v)
+			start := time.Now()
+			res, err = w.conn.Execute(ctx, q)
+			tr.EndLevel(levelOutcome(res, err), time.Since(start))
+		} else {
+			res, err = w.conn.Execute(ctx, q)
+		}
 		if err != nil {
 			return nil, queries, err
 		}
@@ -191,6 +210,20 @@ func (w *Walker) pick(res *hiddendb.Result, pathProb float64, depth int) *Candid
 		Tuple: res.Tuples[idx].Clone(),
 		Reach: pathProb / float64(len(res.Tuples)),
 		Depth: depth,
+	}
+}
+
+// levelOutcome classifies a drill-down query's result for tracing.
+func levelOutcome(res *hiddendb.Result, err error) telemetry.LevelOutcome {
+	switch {
+	case err != nil:
+		return telemetry.LevelError
+	case res.Empty():
+		return telemetry.LevelEmpty
+	case res.Valid():
+		return telemetry.LevelValid
+	default:
+		return telemetry.LevelOverflow
 	}
 }
 

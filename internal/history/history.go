@@ -55,9 +55,11 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/telemetry"
 )
 
 // Options tunes the cache.
@@ -80,6 +82,10 @@ type Options struct {
 	// two, default 64). More shards admit more concurrent writers; reads
 	// already run concurrently within a shard.
 	Shards int
+	// Lookup, when set, observes the cache's share of each Execute on
+	// traced walks only — the untraced hot path reads no clocks, keeping
+	// the rule-1 hit allocation-free and timer-free.
+	Lookup *telemetry.Histogram
 }
 
 // Stats reports the cache's effect.
@@ -257,6 +263,14 @@ func (c *Cache) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result
 		return nil, err
 	}
 
+	// Traced walks time the cache's share of the call; the untraced path
+	// costs one ctx.Value miss and no clock reads.
+	tr := telemetry.TraceFrom(ctx)
+	var lookupStart time.Time
+	if tr != nil {
+		lookupStart = time.Now()
+	}
+
 	// Rule 1: exact repeat. Shared (read) lock only — parallel workers
 	// replaying hot queries never serialize here — and the precomputed
 	// signature means no hashing or string building on the hit path.
@@ -267,15 +281,26 @@ func (c *Cache) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result
 	if e != nil {
 		e.ref.Store(true)
 		c.exactHits.Add(1)
+		if tr != nil {
+			c.markLookup(tr, telemetry.CacheHit, lookupStart)
+		}
 		return e.result(), nil
 	}
 
-	if res := c.infer(schema, q); res != nil {
+	if res, rule := c.infer(schema, q); res != nil {
 		c.inferred.Add(1)
+		if tr != nil {
+			c.markLookup(tr, rule, lookupStart)
+		}
 		c.store(q, res, !res.Overflow)
 		return res, nil
 	}
 
+	if tr != nil {
+		// A miss: the lookup cost ends here; the wire cost lands on the
+		// same span via the execution layer's own marks.
+		c.markLookup(tr, telemetry.CacheMiss, lookupStart)
+	}
 	res, err := c.inner.Execute(ctx, q)
 	if err != nil {
 		return nil, err
@@ -381,12 +406,21 @@ func (c *Cache) enforceCap() {
 	}
 }
 
-// infer attempts rules 2-4 without holding any shard lock. Returns nil
-// when the answer cannot be derived.
-func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Result {
+// markLookup closes out a traced Execute's cache stage: the lookup
+// latency feeds the per-host histogram and the walk trace's span.
+func (c *Cache) markLookup(tr *telemetry.WalkTrace, o telemetry.CacheOutcome, start time.Time) {
+	d := time.Since(start)
+	c.opts.Lookup.Observe(d)
+	tr.MarkCache(o, d)
+}
+
+// infer attempts rules 2-4 without holding any shard lock, reporting
+// which rule answered for tracing. Returns nil when the answer cannot be
+// derived.
+func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) (*hiddendb.Result, telemetry.CacheOutcome) {
 	d := q.Len()
 	if d == 0 || d > c.opts.MaxInferDepth {
-		return nil
+		return nil, telemetry.CacheNone
 	}
 	// Rules 2/3: find the deepest complete ancestor in the subset trie
 	// (deepest = fewest tuples to filter) and filter its rows locally.
@@ -402,14 +436,17 @@ func (c *Cache) infer(schema *hiddendb.Schema, q hiddendb.Query) *hiddendb.Resul
 		// A complete ancestor shows every match, so filtering pins the
 		// exact count whether or not the interface reported one.
 		res.Count = len(res.Tuples)
-		return res
+		if len(anc.tuples) == 0 {
+			return res, telemetry.CacheInferEmpty
+		}
+		return res, telemetry.CacheInferAncestor
 	}
 	if c.opts.TrustCounts {
 		if res := c.inferFromSiblingCounts(schema, q); res != nil {
-			return res
+			return res, telemetry.CacheInferSibling
 		}
 	}
-	return nil
+	return nil, telemetry.CacheNone
 }
 
 // inferFromSiblingCounts applies rule 4: for some predicate (a=v) of q,

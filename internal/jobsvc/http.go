@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"hdsampler/internal/telemetry"
 )
 
 // NewHandler exposes a Manager as the hdsamplerd REST API:
@@ -15,6 +17,7 @@ import (
 //	DELETE /jobs/{id}         cancel a job
 //	GET    /jobs/{id}/samples the job's samples as a store.SampleSet
 //	GET    /metrics           service counters (Prometheus text format)
+//	GET    /debug/walks       sampled end-to-end walk traces (JSON)
 //	GET    /healthz           liveness probe
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
@@ -73,9 +76,20 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetrics(w, m)
+	mux.Handle("GET /metrics", m.Registry().Handler())
+	mux.HandleFunc("GET /debug/walks", func(w http.ResponseWriter, r *http.Request) {
+		t := m.Tracer()
+		st := t.Stats()
+		walks := t.Dump()
+		if walks == nil {
+			walks = []telemetry.TraceView{}
+		}
+		writeJSON(w, http.StatusOK, WalkDump{
+			Started:  st.Started,
+			Finished: st.Finished,
+			Evicted:  st.Evicted,
+			Walks:    walks,
+		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -84,135 +98,15 @@ func NewHandler(m *Manager) http.Handler {
 	return mux
 }
 
-// writeMetrics renders service counters in the Prometheus text
-// exposition format (hand-rolled: no client library in the build).
-func writeMetrics(w http.ResponseWriter, m *Manager) {
-	byState := map[State]int{
-		StateQueued: 0, StateRunning: 0,
-		StateCompleted: 0, StateFailed: 0, StateCanceled: 0,
-	}
-	var accepted, queries int64
-	for _, v := range m.Jobs() {
-		byState[v.State]++
-		accepted += v.Accepted
-		queries += v.Queries
-	}
-	// Savings come from the host caches, not from summing per-job views:
-	// concurrent jobs on one cache observe overlapping windows, and the
-	// sum would overcount.
-	hosts := m.Hosts()
-	var saved int64
-	for _, h := range hosts {
-		saved += h.Saved()
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_jobs Jobs by lifecycle state.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_jobs gauge")
-	for _, s := range []State{StateQueued, StateRunning, StateCompleted, StateFailed, StateCanceled} {
-		fmt.Fprintf(w, "hdsamplerd_jobs{state=%q} %d\n", s, byState[s])
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_samples_accepted_total Accepted samples across all jobs.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_samples_accepted_total counter")
-	fmt.Fprintf(w, "hdsamplerd_samples_accepted_total %d\n", accepted)
-	fmt.Fprintln(w, "# HELP hdsamplerd_queries_total Interface queries issued by samplers across all jobs.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_queries_total counter")
-	fmt.Fprintf(w, "hdsamplerd_queries_total %d\n", queries)
-	fmt.Fprintln(w, "# HELP hdsamplerd_queries_saved_total Queries answered by shared history caches instead of the interface.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_queries_saved_total counter")
-	fmt.Fprintf(w, "hdsamplerd_queries_saved_total %d\n", saved)
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_issued_total Real queries forwarded to each host.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_issued_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_cache_issued_total{host=%q} %d\n", h.Host, h.Issued)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_saved_total Queries each host's shared cache answered (exact hits + inference).")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_saved_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_cache_saved_total{host=%q} %d\n", h.Host, h.Saved())
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_entries Resident entries in each host's shared history caches.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_entries gauge")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_cache_entries{host=%q} %d\n", h.Host, h.Entries)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_protected_entries Pinned fully-specified overflow entries (never evicted).")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_protected_entries gauge")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_cache_protected_entries{host=%q} %d\n", h.Host, h.Protected)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_evictions_total Entries reclaimed by each host cache's CLOCK eviction.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_evictions_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_cache_evictions_total{host=%q} %d\n", h.Host, h.Evictions)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_cache_shard_balance_cv Coefficient of variation of per-shard entry counts (0 = perfectly balanced).")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_cache_shard_balance_cv gauge")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_cache_shard_balance_cv{host=%q} %g\n", h.Host, h.ShardBalance.CV)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_throttled_total Queries delayed by the per-host politeness budget.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_throttled_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_throttled_total{host=%q} %d\n", h.Host, h.Throttled)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_coalesced_total Queries answered by joining an identical in-flight query.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_coalesced_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_exec_coalesced_total{host=%q} %d\n", h.Host, h.Coalesced)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_batched_total Queries shipped inside shared batch wire requests.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_batched_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_exec_batched_total{host=%q} %d\n", h.Host, h.Batched)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_batch_requests_total Batch wire requests issued (each carries several queries under one rate-limit charge).")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_batch_requests_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_exec_batch_requests_total{host=%q} %d\n", h.Host, h.BatchRequests)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_wire_calls_total Wire executions (single-query requests plus batch requests).")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_wire_calls_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_exec_wire_calls_total{host=%q} %d\n", h.Host, h.WireCalls)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_in_flight Wire requests currently running against each host.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_in_flight gauge")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_exec_in_flight{host=%q} %d\n", h.Host, h.InFlight)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_concurrency_limit Current AIMD concurrency window per host (0 = unlimited).")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_concurrency_limit gauge")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_exec_concurrency_limit{host=%q} %g\n", h.Host, h.Limit)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_backoffs_total Multiplicative window cuts after 429 pushback.")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_backoffs_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_exec_backoffs_total{host=%q} %d\n", h.Host, h.Backoffs)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_exec_transient_retries_total Wire executions repeated after transient interface faults (5xx blips, timeouts).")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_exec_transient_retries_total counter")
-	for _, h := range hosts {
-		fmt.Fprintf(w, "hdsamplerd_host_exec_transient_retries_total{host=%q} %d\n", h.Host, h.TransientRetries)
-	}
-	fmt.Fprintln(w, "# HELP hdsamplerd_host_faults_injected_total Misbehaviour injected by the configured fault profile, by kind (zero without -fault-profile).")
-	fmt.Fprintln(w, "# TYPE hdsamplerd_host_faults_injected_total counter")
-	for _, h := range hosts {
-		f := h.Faults
-		for _, kv := range []struct {
-			kind string
-			n    int64
-		}{
-			{"rate_limited", f.RateLimited},
-			{"exhausted_429s", f.Exhausted429s},
-			{"transient", f.Transients},
-			{"jittered", f.Jittered},
-			{"reordered", f.Reordered},
-			{"rounded_counts", f.RoundedCounts},
-			{"slow_calls", f.SlowCalls},
-		} {
-			fmt.Fprintf(w, "hdsamplerd_host_faults_injected_total{host=%q,kind=%q} %d\n", h.Host, kv.kind, kv.n)
-		}
-	}
+// WalkDump is the /debug/walks response: tracer lifetime counters plus
+// the ring buffer's finished traces, oldest first.
+type WalkDump struct {
+	// Started counts walks sampled into tracing, Finished those whose
+	// traces completed, Evicted the finished traces the ring displaced.
+	Started  int64                 `json:"started"`
+	Finished int64                 `json:"finished"`
+	Evicted  int64                 `json:"evicted"`
+	Walks    []telemetry.TraceView `json:"walks"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

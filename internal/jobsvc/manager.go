@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -22,6 +22,7 @@ import (
 	"hdsampler/internal/metrics"
 	"hdsampler/internal/queryexec"
 	"hdsampler/internal/store"
+	"hdsampler/internal/telemetry"
 )
 
 // Config tunes a Manager.
@@ -75,6 +76,32 @@ type Config struct {
 	// Client overrides the HTTP client used for target connectors
 	// (timeouts, proxies, test servers).
 	Client *http.Client
+	// TraceSampleRate is the fraction of candidate draws traced end to end
+	// (per-level queries, cache and execution outcomes, latencies) and
+	// exposed on /debug/walks. 0 disables tracing; 1 traces every walk.
+	TraceSampleRate float64
+	// TraceCapacity is the finished-trace ring buffer size (default 128).
+	TraceCapacity int
+	// TraceSeed seeds the deterministic trace sampler; runs with equal
+	// seeds sample the same walk positions.
+	TraceSeed uint64
+	// SlowWalk, when positive, logs (and counts) candidate draws that take
+	// at least this long.
+	SlowWalk time.Duration
+	// SlowWalkQueries, when positive, logs (and counts) candidate draws
+	// that spend at least this many interface queries.
+	SlowWalkQueries int
+	// Logger receives the manager's structured log output; nil uses
+	// slog.Default.
+	Logger *slog.Logger
+}
+
+// logger resolves the configured structured logger.
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.Default()
 }
 
 // Manager owns the job table, the per-host connector stacks and the run
@@ -82,6 +109,18 @@ type Config struct {
 type Manager struct {
 	cfg Config
 	sem chan struct{}
+	lg  *slog.Logger
+
+	// Telemetry: the unified metrics registry behind /metrics, the walk
+	// tracer behind /debug/walks, and the shared latency histograms the
+	// per-host stacks and per-job observers record into.
+	reg       *telemetry.Registry
+	tracer    *telemetry.Tracer
+	wireHist  *telemetry.HistogramVec // wire RTT by host
+	execHist  *telemetry.HistogramVec // execution-layer latency by host
+	cacheHist *telemetry.HistogramVec // cache lookup latency by host
+	walkHist  *telemetry.HistogramVec // whole-walk duration by job
+	slowWalks *telemetry.Counter
 
 	mu     sync.Mutex
 	seq    int
@@ -98,6 +137,12 @@ type Manager struct {
 type hostEntry struct {
 	host    string
 	limiter *queryexec.Limiter
+
+	// wire / execH / lookup are the host's registry-backed latency
+	// histograms, shared by every target stack on the host.
+	wire   *telemetry.Histogram
+	execH  *telemetry.Histogram
+	lookup *telemetry.Histogram
 
 	mu      sync.Mutex
 	targets map[string]*target
@@ -120,6 +165,7 @@ type target struct {
 type job struct {
 	id   string
 	spec Spec
+	host string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -145,13 +191,28 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		lg:    cfg.logger().With("component", "jobsvc"),
+		reg:   telemetry.NewRegistry(),
 		jobs:  make(map[string]*job),
 		hosts: make(map[string]*hostEntry),
 	}
+	m.tracer = telemetry.NewTracer(telemetry.TracerOptions{
+		Rate:     cfg.TraceSampleRate,
+		Seed:     cfg.TraceSeed,
+		Capacity: cfg.TraceCapacity,
+	})
+	m.registerMetrics()
+	return m
 }
+
+// Registry exposes the manager's metrics registry (the /metrics source).
+func (m *Manager) Registry() *telemetry.Registry { return m.reg }
+
+// Tracer exposes the manager's walk tracer (the /debug/walks source).
+func (m *Manager) Tracer() *telemetry.Tracer { return m.tracer }
 
 // Submit validates and enqueues a job, returning its initial view. The
 // job starts as soon as a run slot frees up.
@@ -174,6 +235,7 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	conn, cache := host.connFor(spec, m.cfg)
 	j := &job{
 		spec:    spec,
+		host:    u.Host,
 		cache:   cache,
 		state:   StateQueued,
 		created: time.Now().UTC(),
@@ -201,7 +263,13 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 func (m *Manager) hostLocked(host string) *hostEntry {
 	he, ok := m.hosts[host]
 	if !ok {
-		he = &hostEntry{host: host, targets: make(map[string]*target)}
+		he = &hostEntry{
+			host:    host,
+			targets: make(map[string]*target),
+			wire:    m.wireHist.With(host),
+			execH:   m.execHist.With(host),
+			lookup:  m.cacheHist.With(host),
+		}
 		if m.cfg.HostRatePerSec > 0 || m.cfg.HostMaxInFlight > 0 {
 			he.limiter = queryexec.NewLimiter(queryexec.LimiterOptions{
 				MaxInFlight: m.cfg.HostMaxInFlight,
@@ -245,6 +313,8 @@ func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.C
 			BatchLinger: cfg.BatchLinger,
 			MaxBatch:    cfg.BatchMax,
 			Limiter:     he.limiter,
+			Wire:        he.wire,
+			ExecLatency: he.execH,
 		})
 		tg = &target{key: key, conn: exec, exec: exec, fault: fault, caches: make(map[bool]*history.Cache)}
 		he.targets[key] = tg
@@ -262,9 +332,10 @@ func (he *hostEntry) connFor(spec Spec, cfg Config) (formclient.Conn, *history.C
 			fresh := history.New(tg.conn, history.Options{
 				TrustCounts: spec.TrustCounts,
 				MaxEntries:  cfg.CacheMaxEntries,
+				Lookup:      he.lookup,
 			})
 			if cfg.HistoryDir != "" {
-				warmStartCache(cfg.HistoryDir, historySource(key, spec.TrustCounts), fresh)
+				warmStartCache(cfg.HistoryDir, historySource(key, spec.TrustCounts), fresh, cfg.logger())
 			}
 			he.mu.Lock()
 			if racer, ok := tg.caches[spec.TrustCounts]; ok {
@@ -295,7 +366,8 @@ func faultProfile(cfg Config) (faultform.Profile, bool) {
 	}
 	p, ok := faultform.Preset(cfg.FaultProfile)
 	if !ok {
-		log.Printf("jobsvc: unknown fault profile %q (want one of %v); fault injection disabled", cfg.FaultProfile, faultform.PresetNames())
+		cfg.logger().Warn("unknown fault profile; fault injection disabled",
+			"component", "jobsvc", "profile", cfg.FaultProfile, "known", fmt.Sprint(faultform.PresetNames()))
 		return faultform.Profile{}, false
 	}
 	return p, true
@@ -325,27 +397,29 @@ func historyDumpPath(dir, source string) string {
 
 // warmStartCache best-effort restores a freshly created cache from its
 // checkpoint; failures only cost the warm start, never the job.
-func warmStartCache(dir, source string, cache *history.Cache) {
+func warmStartCache(dir, source string, cache *history.Cache, lg *slog.Logger) {
+	lg = lg.With("component", "jobsvc", "source", source)
 	path := historyDumpPath(dir, source)
 	dump, err := store.LoadHistoryFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			log.Printf("jobsvc: history warm-start %s: %v", path, err)
+			lg.Warn("history warm-start failed", "path", path, "error", err)
 		}
 		return
 	}
 	if dump.Source != source {
-		log.Printf("jobsvc: history warm-start %s: checkpoint is for %q, want %q; skipping", path, dump.Source, source)
+		lg.Warn("history warm-start skipped: checkpoint identity mismatch",
+			"path", path, "checkpoint_source", dump.Source)
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	n, err := cache.Restore(ctx, dump.Snapshot())
 	if err != nil {
-		log.Printf("jobsvc: history warm-start %s: %v", path, err)
+		lg.Warn("history warm-start failed", "path", path, "error", err)
 		return
 	}
-	log.Printf("jobsvc: warm-started history cache %s with %d entries", source, n)
+	lg.Info("warm-started history cache", "entries", n)
 }
 
 // dumpHistory checkpoints every shared cache to HistoryDir.
@@ -354,7 +428,7 @@ func (m *Manager) dumpHistory() {
 		return
 	}
 	if err := os.MkdirAll(m.cfg.HistoryDir, 0o755); err != nil {
-		log.Printf("jobsvc: history checkpoint dir: %v", err)
+		m.lg.Warn("history checkpoint dir", "dir", m.cfg.HistoryDir, "error", err)
 		return
 	}
 	m.mu.Lock()
@@ -383,7 +457,7 @@ func (m *Manager) dumpHistory() {
 			dump := store.NewHistoryDump(t.source, t.cache.Dump())
 			path := historyDumpPath(m.cfg.HistoryDir, t.source)
 			if err := store.SaveHistoryFile(path, dump); err != nil {
-				log.Printf("jobsvc: history checkpoint %s: %v", path, err)
+				m.lg.Warn("history checkpoint failed", "path", path, "error", err)
 			}
 		}
 	}
@@ -427,6 +501,20 @@ func (m *Manager) run(j *job, conn formclient.Conn) {
 		// executor sits below the caches.
 		UseHistory: false,
 		Exec:       hdsampler.ExecConfig{Disable: true},
+		// One observer per job: the duration histogram series carries the
+		// job label, while the tracer, slow-walk counter and logger are the
+		// daemon-wide instruments. Replicas share it (its instruments are
+		// concurrency-safe).
+		Obs: &telemetry.WalkObserver{
+			Tracer:      m.tracer,
+			Duration:    m.walkHist.With(j.id),
+			SlowWalk:    m.cfg.SlowWalk,
+			SlowQueries: m.cfg.SlowWalkQueries,
+			SlowCount:   m.slowWalks,
+			Logger:      m.lg,
+			Job:         j.id,
+			Host:        j.host,
+		},
 	}
 	if j.spec.Slider != nil {
 		cfg.Slider = *j.spec.Slider
@@ -541,7 +629,7 @@ func (j *job) finish(m *Manager, set *store.SampleSet, stats hdsampler.Stats, er
 		if perr != nil {
 			// Keep the terminal state but surface the broken durability on
 			// the view and in the daemon log.
-			log.Printf("jobsvc: job %s: checkpoint %s: %v", id, path, perr)
+			m.lg.Warn("sample checkpoint failed", "job", id, "path", path, "error", perr)
 			if j.err == nil {
 				j.err = fmt.Errorf("checkpoint: %w", perr)
 			}

@@ -4,7 +4,7 @@
 package pprofserve
 
 import (
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 )
@@ -12,16 +12,16 @@ import (
 // Start serves net/http/pprof's DefaultServeMux registrations on addr in
 // a background goroutine; empty addr disables it. Both daemons route
 // their service traffic through dedicated handlers, so the profiling
-// endpoints exist only on this side listener. name prefixes the log
-// lines.
+// endpoints exist only on this side listener. name tags the log lines.
 func Start(name, addr string) {
 	if addr == "" {
 		return
 	}
+	lg := slog.Default().With("component", name)
 	go func() {
-		log.Printf("%s: pprof listening on http://%s/debug/pprof/", name, addr)
+		lg.Info("pprof listening", "url", "http://"+addr+"/debug/pprof/")
 		if err := http.ListenAndServe(addr, nil); err != nil {
-			log.Printf("%s: pprof server: %v", name, err)
+			lg.Warn("pprof server", "error", err)
 		}
 	}()
 }

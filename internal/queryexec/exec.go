@@ -34,6 +34,7 @@ import (
 
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/telemetry"
 )
 
 // BatchExecer is the optional connector capability micro-batching needs:
@@ -64,6 +65,13 @@ type Options struct {
 	// Sleep paces transient-retry backoff, overridable by tests; defaults
 	// to a context-aware sleep.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Wire, when set, observes every wire round trip (single-query and
+	// batch requests alike); ExecLatency, when set, observes every logical
+	// Execute through the layer, including coalescing and linger waits.
+	// Wire calls are rare and slow relative to a clock read, so these stay
+	// on for all traffic; leave nil to skip the timing entirely.
+	Wire        *telemetry.Histogram
+	ExecLatency *telemetry.Histogram
 }
 
 // Stats counts the execution layer's work.
@@ -159,12 +167,42 @@ func removeCall(calls map[uint64]*call, hash uint64, c *call) {
 	}
 }
 
-// pendingQuery is one query waiting in the linger window.
+// wireMarks accumulates a traced query's execution-layer outcome
+// (exec path, transient retries, AIMD window at send time) for later
+// application to its walk trace. The flush goroutine must never touch
+// the trace itself — a cancelled enqueuer walks away mid-flight and
+// keeps using its trace — so marks are staged here and applied by the
+// goroutine that owns the trace.
+type wireMarks struct {
+	exec    telemetry.ExecOutcome
+	retries int
+	aimd    float64
+}
+
+// apply transfers the staged marks onto the owning walk's trace.
+func (m *wireMarks) apply(tr *telemetry.WalkTrace) {
+	if m.exec != telemetry.ExecNone {
+		tr.MarkExec(m.exec)
+	}
+	if m.aimd != 0 {
+		tr.SetAIMDLimit(m.aimd)
+	}
+	for i := 0; i < m.retries; i++ {
+		tr.AddRetry()
+	}
+}
+
+// pendingQuery is one query waiting in the linger window. traced asks
+// the flush goroutine to stage wireMarks; the enqueuer applies them to
+// its trace after the done channel closes (and never reads them when it
+// abandons the wait on cancellation).
 type pendingQuery struct {
-	q    hiddendb.Query
-	res  *hiddendb.Result
-	err  error
-	done chan struct{}
+	q      hiddendb.Query
+	traced bool
+	marks  wireMarks
+	res    *hiddendb.Result
+	err    error
+	done   chan struct{}
 }
 
 // New wraps inner with the execution layer. Micro-batching engages only
@@ -227,6 +265,19 @@ func (x *Executor) Limiter() *Limiter { return x.opts.Limiter }
 // no deep copies.
 func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
 	x.queries.Add(1)
+	tr := telemetry.TraceFrom(ctx)
+	if x.opts.ExecLatency == nil {
+		return x.execute(ctx, q, tr)
+	}
+	start := time.Now()
+	res, err := x.execute(ctx, q, tr)
+	x.opts.ExecLatency.Observe(time.Since(start))
+	return res, err
+}
+
+// execute is Execute's single-flight body; tr is the caller's walk trace
+// (nil when untraced).
+func (x *Executor) execute(ctx context.Context, q hiddendb.Query, tr *telemetry.WalkTrace) (*hiddendb.Result, error) {
 	hash, key := q.Hash(), q.Key()
 	for {
 		x.mu.Lock()
@@ -247,6 +298,7 @@ func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Res
 				return nil, c.err
 			}
 			x.coalesced.Add(1)
+			tr.MarkExec(telemetry.ExecCoalesced)
 			return c.res, nil
 		}
 		c := &call{key: key, done: make(chan struct{})}
@@ -254,7 +306,7 @@ func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Res
 		x.calls[hash] = c
 		x.mu.Unlock()
 
-		res, err := x.execLeader(ctx, q)
+		res, err := x.execLeader(ctx, q, tr)
 
 		x.mu.Lock()
 		removeCall(x.calls, hash, c)
@@ -269,29 +321,54 @@ func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Res
 }
 
 // execLeader performs the wire-bound execution for a single-flight leader.
-func (x *Executor) execLeader(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+func (x *Executor) execLeader(ctx context.Context, q hiddendb.Query, tr *telemetry.WalkTrace) (*hiddendb.Result, error) {
 	if x.batch == nil {
-		return x.execDirect(ctx, q)
+		var m *wireMarks
+		if tr != nil {
+			m = &wireMarks{}
+		}
+		res, err := x.execDirect(ctx, q, m)
+		if tr != nil {
+			m.apply(tr)
+		}
+		return res, err
 	}
-	return x.enqueue(ctx, q)
+	return x.enqueue(ctx, q, tr)
 }
 
 // execDirect issues one single-query wire request under the limiter,
 // retrying transient interface faults within the configured budget. The
 // admission slot is held only for the wire call itself — a backoff sleep
 // must not starve other queries of the window.
-func (x *Executor) execDirect(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
+func (x *Executor) execDirect(ctx context.Context, q hiddendb.Query, m *wireMarks) (*hiddendb.Result, error) {
 	for attempt := 0; ; attempt++ {
 		if err := x.opts.Limiter.Acquire(ctx); err != nil {
 			return nil, err
 		}
+		if m != nil {
+			// Traced walks record the AIMD window as seen at send time; the
+			// Limit read takes the limiter mutex, so it stays off the
+			// untraced path.
+			m.exec = telemetry.ExecWire
+			m.aimd = x.opts.Limiter.Limit()
+		}
+		var start time.Time
+		if x.opts.Wire != nil {
+			start = time.Now()
+		}
 		res, err := x.inner.Execute(ctx, q)
+		if x.opts.Wire != nil {
+			x.opts.Wire.Observe(time.Since(start))
+		}
 		x.wire.Add(1)
 		x.opts.Limiter.Release(x.clean(err))
 		if !x.retryable(ctx, err, attempt) {
 			return res, err
 		}
 		x.transients.Add(1)
+		if m != nil {
+			m.retries++
+		}
 		if serr := x.opts.Sleep(ctx, transientBackoff(attempt)); serr != nil {
 			return nil, serr
 		}
@@ -329,8 +406,8 @@ func (x *Executor) clean(err error) bool {
 }
 
 // enqueue parks a query in the linger window and waits for its flush.
-func (x *Executor) enqueue(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
-	p := &pendingQuery{q: q, done: make(chan struct{})}
+func (x *Executor) enqueue(ctx context.Context, q hiddendb.Query, tr *telemetry.WalkTrace) (*hiddendb.Result, error) {
+	p := &pendingQuery{q: q, traced: tr != nil, done: make(chan struct{})}
 	x.mu.Lock()
 	x.pending = append(x.pending, p)
 	var full []*pendingQuery
@@ -349,8 +426,13 @@ func (x *Executor) enqueue(ctx context.Context, q hiddendb.Query) (*hiddendb.Res
 	}
 	select {
 	case <-p.done:
+		if tr != nil {
+			p.marks.apply(tr)
+		}
 		return p.res, p.err
 	case <-ctx.Done():
+		// Abandoned: the flush goroutine may still be staging marks into
+		// p, so the trace takes none of them.
 		return nil, ctx.Err()
 	}
 }
@@ -385,7 +467,7 @@ func (x *Executor) flush(ctx context.Context) {
 func (x *Executor) run(ctx context.Context, batch []*pendingQuery) {
 	if len(batch) == 1 {
 		p := batch[0]
-		p.res, p.err = x.execDirect(ctx, p.q)
+		p.res, p.err = x.execDirect(ctx, p.q, p.marksIfTraced())
 		close(p.done)
 		return
 	}
@@ -400,7 +482,24 @@ func (x *Executor) run(ctx context.Context, batch []*pendingQuery) {
 		if err != nil {
 			break
 		}
+		limit := -1.0 // Limit() takes the limiter mutex: read once, only if traced
+		for _, p := range batch {
+			if !p.traced {
+				continue
+			}
+			if limit < 0 {
+				limit = x.opts.Limiter.Limit()
+			}
+			p.marks.aimd = limit
+		}
+		var start time.Time
+		if x.opts.Wire != nil {
+			start = time.Now()
+		}
 		results, err = x.batch.ExecuteBatch(ctx, qs)
+		if x.opts.Wire != nil {
+			x.opts.Wire.Observe(time.Since(start))
+		}
 		x.wire.Add(1)
 		x.batchReqs.Add(1)
 		x.opts.Limiter.Release(x.clean(err))
@@ -414,6 +513,11 @@ func (x *Executor) run(ctx context.Context, batch []*pendingQuery) {
 			break
 		}
 		x.transients.Add(1)
+		for _, p := range batch {
+			if p.traced {
+				p.marks.retries++
+			}
+		}
 		if serr := x.opts.Sleep(ctx, transientBackoff(attempt)); serr != nil {
 			err = serr
 			break
@@ -421,13 +525,25 @@ func (x *Executor) run(ctx context.Context, batch []*pendingQuery) {
 	}
 	for i, p := range batch {
 		if err != nil {
-			p.res, p.err = x.execDirect(ctx, p.q)
+			p.res, p.err = x.execDirect(ctx, p.q, p.marksIfTraced())
 		} else {
 			p.res = results[i]
+			if p.traced {
+				p.marks.exec = telemetry.ExecBatched
+			}
 			x.batched.Add(1)
 		}
 		close(p.done)
 	}
+}
+
+// marksIfTraced returns the staging area for a traced pending query, nil
+// otherwise.
+func (p *pendingQuery) marksIfTraced() *wireMarks {
+	if !p.traced {
+		return nil
+	}
+	return &p.marks
 }
 
 var _ formclient.Conn = (*Executor)(nil)

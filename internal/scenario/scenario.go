@@ -33,6 +33,7 @@ import (
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/hiddendb"
 	"hdsampler/internal/metrics"
+	"hdsampler/internal/telemetry"
 )
 
 // DatasetSpec names one dataset shape of the matrix.
@@ -151,6 +152,13 @@ type CellResult struct {
 
 	// Faults is what the adversarial interface actually injected.
 	Faults faultform.Stats `json:"faults"`
+
+	// Walk summarizes the cell's whole-walk latency histogram and
+	// TracedWalks counts the draws its sampling tracer captured — the
+	// telemetry stack measured under the same adversarial conditions the
+	// cell gates on.
+	Walk        telemetry.Summary `json:"walk_latency"`
+	TracedWalks int64             `json:"traced_walks"`
 
 	WallMS float64 `json:"wall_ms"`
 }
@@ -308,6 +316,13 @@ func runCell(ctx context.Context, p cellParams) CellResult {
 	cell.C = c
 
 	conn := faultform.Wrap(formclient.NewLocal(p.db), p.fp, p.seed+7)
+	// Each cell carries its own telemetry: a walk-duration histogram and a
+	// 5%-sampled tracer, so the report shows the latency the stack
+	// delivered under the same adversarial conditions the cell gates on.
+	walkHist := &telemetry.Histogram{}
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{
+		Rate: 0.05, Seed: uint64(p.seed) + 1, Capacity: 32,
+	})
 	cfg := hdsampler.Config{
 		Seed:       p.seed,
 		C:          c,
@@ -319,6 +334,7 @@ func runCell(ctx context.Context, p cellParams) CellResult {
 			MaxInFlight:      8,
 			TransientRetries: 3,
 		},
+		Obs: &telemetry.WalkObserver{Tracer: tracer, Duration: walkHist},
 	}
 	start := time.Now()
 	tuples, stats, err := hdsampler.DrawParallel(ctx, conn, cfg, p.n, p.workers)
@@ -336,6 +352,8 @@ func runCell(ctx context.Context, p cellParams) CellResult {
 		cell.QueriesPerSample = float64(stats.Queries) / float64(len(tuples))
 	}
 	cell.Faults = conn.FaultStats()
+	cell.Walk = walkHist.Snapshot().Summary()
+	cell.TracedWalks = tracer.Stats().Finished
 
 	// Bias against the exact selection distribution. Content faults
 	// (jitter trims reachability) legitimately shift the distribution, so

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The off-path allocation ceilings behind the tentpole's hard
+// constraint: with tracing disabled, every instrumentation touchpoint on
+// the walk hot path must stay allocation-free.
+
+func TestOffPathAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; ceiling measured without -race")
+	}
+	ctx := context.Background()
+
+	if n := testing.AllocsPerRun(200, func() {
+		if TraceFrom(ctx) != nil {
+			t.Fatal("trace in background context")
+		}
+	}); n > 0 {
+		t.Errorf("TraceFrom miss allocates %.1f", n)
+	}
+
+	var o *WalkObserver
+	if n := testing.AllocsPerRun(200, func() {
+		sp, _ := o.Begin(ctx, "walk")
+		sp.End(3, 0, true, nil)
+	}); n > 0 {
+		t.Errorf("nil-observer Begin/End allocates %.1f", n)
+	}
+
+	// Observer installed, tracing off: histogram + threshold checks only.
+	on := &WalkObserver{
+		Tracer:   NewTracer(TracerOptions{Rate: 0, Seed: 1}),
+		Duration: &Histogram{},
+		SlowWalk: time.Minute,
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		sp, _ := on.Begin(ctx, "walk")
+		sp.End(3, 0, true, nil)
+	}); n > 0 {
+		t.Errorf("untraced observed walk allocates %.1f", n)
+	}
+
+	h := &Histogram{}
+	if n := testing.AllocsPerRun(200, func() { h.Observe(time.Millisecond) }); n > 0 {
+		t.Errorf("Histogram.Observe allocates %.1f", n)
+	}
+
+	c := &Counter{}
+	if n := testing.AllocsPerRun(200, func() { c.Inc() }); n > 0 {
+		t.Errorf("Counter.Inc allocates %.1f", n)
+	}
+
+	var nilTrace *WalkTrace
+	if n := testing.AllocsPerRun(200, func() {
+		nilTrace.BeginLevel(0, 0, 0, 0)
+		nilTrace.MarkCache(CacheHit, 0)
+		nilTrace.MarkExec(ExecWire)
+		nilTrace.EndLevel(LevelValid, 0)
+	}); n > 0 {
+		t.Errorf("nil-trace marks allocate %.1f", n)
+	}
+}
+
+// TestSteadyStateTracingAllocations: once the pool and ring are warm, a
+// fully traced walk recycles its WalkTrace; only the context attachment
+// allocates.
+func TestSteadyStateTracingAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; ceiling measured without -race")
+	}
+	o := &WalkObserver{Tracer: NewTracer(TracerOptions{Rate: 1, Seed: 1, Capacity: 4})}
+	ctx := context.Background()
+	for i := 0; i < 16; i++ { // warm the pool through ring displacement
+		sp, _ := o.Begin(ctx, "walk")
+		sp.End(1, 0, false, nil)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		sp, tctx := o.Begin(ctx, "walk")
+		tr := TraceFrom(tctx)
+		tr.BeginLevel(0, 0, 1, 2)
+		tr.MarkCache(CacheHit, time.Microsecond)
+		tr.EndLevel(LevelValid, time.Millisecond)
+		sp.End(1, 0, false, nil)
+	}); n > 2 {
+		t.Errorf("steady-state traced walk allocates %.1f, want <= 2 (context attach)", n)
+	}
+}

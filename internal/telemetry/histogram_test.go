@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := &Histogram{}
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{-5 * time.Nanosecond, 0},
+		{1 * time.Nanosecond, 1},
+		{2 * time.Nanosecond, 2},
+		{3 * time.Nanosecond, 2},
+		{4 * time.Nanosecond, 3},
+		{1023 * time.Nanosecond, 10},
+		{1024 * time.Nanosecond, 11},
+		{time.Hour, numBuckets - 1}, // beyond the range: clamped
+	}
+	for _, c := range cases {
+		h.Observe(c.d)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(cases))
+	}
+	if s.Max != time.Hour {
+		t.Errorf("max = %v, want 1h", s.Max)
+	}
+	want := make(map[int]int64)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestHistogramQuantileAndSummary(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast samples at ~1µs, 10 slow at ~1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < time.Microsecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs (2× bucket resolution)", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < time.Millisecond || p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms", p99)
+	}
+	sum := s.Summary()
+	if sum.Count != 100 {
+		t.Errorf("summary count = %d", sum.Count)
+	}
+	if sum.MaxMS != 1 {
+		t.Errorf("summary max = %vms, want 1ms", sum.MaxMS)
+	}
+	if sum.MeanMS <= 0 || sum.P50MS <= 0 || sum.P99MS < sum.P50MS {
+		t.Errorf("summary not monotone: %+v", sum)
+	}
+}
+
+func TestHistogramZeroAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if s := nilH.Snapshot(); s.Count != 0 {
+		t.Errorf("nil snapshot count = %d", s.Count)
+	}
+	if s := (HistogramSnapshot{}); s.Quantile(0.5) != 0 || s.Summary().Count != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s.Summary())
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines; run under -race this is the lock-freedom proof, and the
+// final counts must balance exactly.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var cum int64
+	for _, n := range s.Buckets {
+		cum += n
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec("host")
+	a := v.With("a")
+	if v.With("a") != a {
+		t.Fatal("With not cached")
+	}
+	a.Observe(time.Millisecond)
+	v.With("b").Observe(time.Second)
+	series := v.snapshot()
+	if len(series) != 2 || series[0].labels[0].Value != "a" || series[1].labels[0].Value != "b" {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[0].snap.Count != 1 || series[1].snap.Count != 1 {
+		t.Fatalf("per-series counts wrong")
+	}
+	var nilV *HistogramVec
+	nilV.With("x").Observe(time.Second) // nil-safe chain
+}

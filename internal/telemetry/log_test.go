@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "component", "test")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("level filter broken: %q", out)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("structured", "job", "j-1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log not parseable: %v in %q", err, buf.String())
+	}
+	if rec["msg"] != "structured" || rec["job"] != "j-1" {
+		t.Fatalf("json record: %v", rec)
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserverNilIsInert(t *testing.T) {
+	var o *WalkObserver
+	ctx := context.Background()
+	sp, ctx2 := o.Begin(ctx, "walk")
+	if ctx2 != ctx {
+		t.Fatal("nil observer rewrote the context")
+	}
+	if sp.Trace() != nil || sp.End(10, 1, true, nil) != nil {
+		t.Fatal("nil observer produced a trace")
+	}
+}
+
+func TestObserverDurationAndTrace(t *testing.T) {
+	h := &Histogram{}
+	o := &WalkObserver{
+		Tracer:   NewTracer(TracerOptions{Rate: 1, Seed: 1, Capacity: 4}),
+		Duration: h,
+		Job:      "j-1",
+		Host:     "h1",
+	}
+	sp, ctx := o.Begin(context.Background(), "walk")
+	if TraceFrom(ctx) == nil || TraceFrom(ctx) != sp.Trace() {
+		t.Fatal("sampled walk's trace not in context")
+	}
+	tr := sp.End(4, 1, true, nil)
+	if tr == nil {
+		t.Fatal("produced walk returned no trace")
+	}
+	tr.Decide(false)
+	if h.Snapshot().Count != 1 {
+		t.Fatal("duration not observed")
+	}
+	v := o.Tracer.Dump()
+	if len(v) != 1 || v[0].Queries != 4 || v[0].Restarts != 1 || !v[0].Produced ||
+		!v[0].Decided || v[0].Accepted || v[0].Job != "j-1" {
+		t.Fatalf("trace view: %+v", v)
+	}
+}
+
+func TestObserverFinishesUnproducedWalks(t *testing.T) {
+	o := &WalkObserver{Tracer: NewTracer(TracerOptions{Rate: 1, Seed: 1, Capacity: 4})}
+	sp, _ := o.Begin(context.Background(), "walk")
+	if tr := sp.End(3, 2, false, errors.New("no candidate")); tr != nil {
+		t.Fatal("unproduced walk returned an open trace")
+	}
+	v := o.Tracer.Dump()
+	if len(v) != 1 || v[0].Produced || v[0].Err != "no candidate" {
+		t.Fatalf("trace view: %+v", v)
+	}
+}
+
+func TestObserverSlowWalkLog(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewTextHandler(&buf, nil))
+	slow := &Counter{}
+	o := &WalkObserver{
+		SlowQueries: 5,
+		SlowCount:   slow,
+		Logger:      lg,
+		Job:         "j-2",
+		Host:        "slowhost",
+	}
+	sp, _ := o.Begin(context.Background(), "walk")
+	sp.End(3, 0, true, nil) // under budget: quiet
+	sp, _ = o.Begin(context.Background(), "walk")
+	sp.End(9, 2, true, nil) // over budget: logged
+	if slow.Value() != 1 {
+		t.Fatalf("slow count = %d, want 1", slow.Value())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow walk") || !strings.Contains(out, "job=j-2") ||
+		!strings.Contains(out, "host=slowhost") || !strings.Contains(out, "queries=9") {
+		t.Fatalf("slow-walk log: %q", out)
+	}
+	if strings.Contains(out, "queries=3") {
+		t.Fatalf("fast walk logged: %q", out)
+	}
+}
+
+func TestObserverSlowWalkLatencyThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	o := &WalkObserver{
+		SlowWalk:  time.Nanosecond, // everything is slow
+		SlowCount: &Counter{},
+		Logger:    slog.New(slog.NewTextHandler(&buf, nil)),
+	}
+	sp, _ := o.Begin(context.Background(), "walk")
+	time.Sleep(time.Microsecond)
+	sp.End(1, 0, true, nil)
+	if o.SlowCount.Value() != 1 || !strings.Contains(buf.String(), "slow walk") {
+		t.Fatalf("latency threshold did not fire: %q", buf.String())
+	}
+}
+
+func TestCounterNil(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter not inert")
+	}
+}

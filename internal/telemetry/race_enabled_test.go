@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports the race detector is active: its instrumentation
+// allocates, so allocation-ceiling tests skip themselves under it.
+const raceEnabled = true

@@ -1,0 +1,325 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A plain counter.")
+	c.Add(3)
+	v := r.CounterVec("test_by_host_total", "A labeled counter.", "host")
+	v.With("b.example").Add(2)
+	v.With("a.example").Inc()
+	r.GaugeFunc("test_gauge", "A gauge.", func() float64 { return 1.5 })
+	r.CollectGauge("test_states", "Scrape-time samples.", func(emit Emit) {
+		emit(4, Label{"state", "running"})
+		emit(0, Label{"state", "done"})
+	})
+	h := r.Histogram("test_seconds", "A histogram.")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(time.Second)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	parseExposition(t, lines)
+
+	// Families must appear sorted by name.
+	var families []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# HELP ") {
+			families = append(families, strings.Fields(l)[2])
+		}
+	}
+	want := []string{"test_by_host_total", "test_gauge", "test_seconds", "test_states", "test_total"}
+	if strings.Join(families, " ") != strings.Join(want, " ") {
+		t.Fatalf("family order = %v, want %v", families, want)
+	}
+	// Series within a family sort by label value.
+	ia := strings.Index(out, `test_by_host_total{host="a.example"} 1`)
+	ib := strings.Index(out, `test_by_host_total{host="b.example"} 2`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("labeled series missing or unsorted:\n%s", out)
+	}
+	for _, wantLine := range []string{
+		"test_total 3",
+		"test_gauge 1.5",
+		`test_states{state="done"} 0`,
+		`test_states{state="running"} 4`,
+		`test_seconds_bucket{le="+Inf"} 2`,
+		"test_seconds_count 2",
+	} {
+		if !strings.Contains(out, wantLine+"\n") {
+			t.Errorf("missing line %q in:\n%s", wantLine, out)
+		}
+	}
+}
+
+// parseExposition validates lines against the Prometheus text format
+// (version 0.0.4): comment structure, sample syntax, TYPE before
+// samples, no duplicate families, and cumulative histogram buckets.
+func parseExposition(t *testing.T, lines []string) {
+	t.Helper()
+	typed := make(map[string]string) // family -> TYPE
+	helped := make(map[string]bool)
+	var lastHist string
+	var lastCum int64
+	sampleSeen := make(map[string]bool)
+	for n, line := range lines {
+		if line == "" {
+			t.Fatalf("line %d: blank line", n+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.SplitN(line, " ", 4)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", n+1, line)
+			}
+			name := f[2]
+			switch f[1] {
+			case "HELP":
+				if helped[name] {
+					t.Fatalf("line %d: duplicate HELP for %s", n+1, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if typed[name] != "" {
+					t.Fatalf("line %d: duplicate TYPE for %s", n+1, name)
+				}
+				if sampleSeen[name] {
+					t.Fatalf("line %d: TYPE for %s after its samples", n+1, name)
+				}
+				switch f[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("line %d: bad TYPE %q", n+1, f[3])
+				}
+				typed[name] = f[3]
+			}
+			continue
+		}
+		name, labels, value := parseSample(t, n+1, line)
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if typed[family] == "" {
+			t.Fatalf("line %d: sample %s without TYPE", n+1, name)
+		}
+		sampleSeen[family] = true
+		if strings.HasSuffix(name, "_bucket") && typed[family] == "histogram" {
+			le, ok := labels["le"]
+			if !ok {
+				t.Fatalf("line %d: histogram bucket without le", n+1)
+			}
+			series := family + "|" + labels["host"] + labels["job"]
+			cum := int64(value)
+			if series == lastHist && cum < lastCum {
+				t.Fatalf("line %d: bucket counts not cumulative (%d after %d)", n+1, cum, lastCum)
+			}
+			lastHist, lastCum = series, cum
+			_ = le
+		}
+	}
+}
+
+// parseSample validates one sample line, returning name, labels, value.
+func parseSample(t *testing.T, n int, line string) (string, map[string]string, float64) {
+	t.Helper()
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		t.Fatalf("line %d: no value separator in %q", n, line)
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		t.Fatalf("line %d: invalid metric name %q", n, name)
+	}
+	labels := make(map[string]string)
+	if rest[i] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label set in %q", n, line)
+		}
+		body := rest[i+1 : end]
+		for _, pair := range splitLabelPairs(t, n, body) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				t.Fatalf("line %d: malformed label pair %q", n, pair)
+			}
+			lname, quoted := pair[:eq], pair[eq+1:]
+			if !validMetricName(lname) {
+				t.Fatalf("line %d: invalid label name %q", n, lname)
+			}
+			if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {
+				t.Fatalf("line %d: unquoted label value %q", n, quoted)
+			}
+			inner := quoted[1 : len(quoted)-1]
+			for j := 0; j < len(inner); j++ {
+				switch inner[j] {
+				case '\\':
+					j++
+					if j >= len(inner) || (inner[j] != '\\' && inner[j] != '"' && inner[j] != 'n') {
+						t.Fatalf("line %d: bad escape in label value %q", n, inner)
+					}
+				case '"', '\n':
+					t.Fatalf("line %d: unescaped %q in label value %q", n, inner[j], inner)
+				}
+			}
+			labels[lname] = inner
+		}
+		rest = rest[end+1:]
+		if len(rest) == 0 || rest[0] != ' ' {
+			t.Fatalf("line %d: no space after labels in %q", n, line)
+		}
+	} else {
+		rest = rest[i:]
+	}
+	valStr := strings.TrimPrefix(rest, " ")
+	if strings.ContainsAny(valStr, " ") {
+		// A timestamp would be legal in the format, but this registry
+		// never emits one; a stray space means a malformed value.
+		t.Fatalf("line %d: unexpected trailing fields in %q", n, line)
+	}
+	var value float64
+	switch valStr {
+	case "+Inf", "-Inf", "NaN":
+	default:
+		if _, err := parseFloat(valStr); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", n, valStr, err)
+		}
+		value, _ = parseFloat(valStr)
+	}
+	return name, labels, value
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(t *testing.T, n int, body string) []string {
+	t.Helper()
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CollectGauge("esc_gauge", `help with \backslash and
+newline`, func(emit Emit) {
+		emit(1, Label{"v", "quote\"backslash\\newline\nend"})
+	})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_gauge help with \\backslash and\nnewline`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_gauge{v="quote\"backslash\\newline\nend"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	parseExposition(t, strings.Split(strings.TrimRight(out, "\n"), "\n"))
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.GaugeFunc("dup_total", "y", func() float64 { return 0 })
+}
+
+func TestRegistryHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("vec_seconds", "Per-host latency.", "host")
+	v.With("h1").Observe(time.Millisecond)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, wantLine := range []string{
+		`vec_seconds_bucket{host="h1",le="+Inf"} 1`,
+		`vec_seconds_count{host="h1"} 1`,
+	} {
+		if !strings.Contains(out, wantLine+"\n") {
+			t.Fatalf("missing %q in:\n%s", wantLine, out)
+		}
+	}
+	parseExposition(t, strings.Split(strings.TrimRight(out, "\n"), "\n"))
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		2:       "2",
+		1000000: "1000000",
+		1.5:     "1.5",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/telemetry"
 )
 
 // Options configures interface behaviour beyond what the DB itself fixes.
@@ -44,6 +45,11 @@ type Options struct {
 	// Fault, when set, injects deterministic misbehaviour (5xx blips,
 	// latency) into the query endpoints; see FaultConfig.
 	Fault *FaultConfig
+	// Metrics, when set, registers the interface's request counters,
+	// rate-limit rejections and request-latency histogram into this
+	// registry (hiddendbd serves it on /metrics). Nil disables
+	// instrumentation entirely.
+	Metrics *telemetry.Registry
 	// Now lets tests control time; defaults to time.Now.
 	Now func() time.Time
 }
@@ -58,6 +64,11 @@ type Server struct {
 	buckets map[string]*bucket
 
 	faults faultState
+
+	// Telemetry instruments (nil — and free — without Options.Metrics).
+	reqs    *telemetry.CounterVec
+	limited *telemetry.Counter
+	latency *telemetry.Histogram
 }
 
 // NewServer builds the handler for db.
@@ -72,15 +83,38 @@ func NewServer(db *hiddendb.DB, opts Options) *Server {
 		opts.Now = time.Now
 	}
 	s := &Server{db: db, opts: opts, buckets: make(map[string]*bucket)}
+	if reg := opts.Metrics; reg != nil {
+		s.reqs = reg.CounterVec("webform_requests_total",
+			"Interface requests served, by endpoint.", "endpoint")
+		s.limited = reg.Counter("webform_rate_limited_total",
+			"Requests rejected with 429 by the per-client rate limiter.")
+		s.latency = reg.Histogram("webform_request_seconds",
+			"Interface request handling latency (all endpoints).")
+	}
 	s.faults.blip = make(map[uint64]int)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/", s.handleForm)
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/item/", s.handleItem)
-	s.mux.HandleFunc("/api/schema", s.handleAPISchema)
-	s.mux.HandleFunc("/api/search", s.handleAPISearch)
-	s.mux.HandleFunc("POST /api/search/batch", s.handleAPIBatch)
+	s.mux.HandleFunc("/", s.instrument("form", s.handleForm))
+	s.mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("/item/", s.instrument("item", s.handleItem))
+	s.mux.HandleFunc("/api/schema", s.instrument("api_schema", s.handleAPISchema))
+	s.mux.HandleFunc("/api/search", s.instrument("api_search", s.handleAPISearch))
+	s.mux.HandleFunc("POST /api/search/batch", s.instrument("api_batch", s.handleAPIBatch))
 	return s
+}
+
+// instrument wraps a handler with the per-endpoint request counter and the
+// latency histogram; without a registry it returns the handler untouched.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if s.reqs == nil {
+		return h
+	}
+	c := s.reqs.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		start := time.Now()
+		h(w, r)
+		s.latency.Observe(time.Since(start))
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -138,6 +172,7 @@ func (s *Server) rateLimited(w http.ResponseWriter, r *http.Request) bool {
 	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
 	w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(ms, 10))
 	http.Error(w, "query rate limit exceeded", http.StatusTooManyRequests)
+	s.limited.Inc()
 	return true
 }
 

@@ -1,0 +1,95 @@
+// Command hdlint is the repo's multichecker: it machine-checks the
+// by-convention invariants the codebase relies on (Result immutability,
+// nil-safe telemetry instruments, allocation-free hot paths, unmixed
+// atomics, errors.Is on sentinels). It loads packages with the stdlib-only
+// loader in internal/lint — no cmd/go, no external deps — and exits
+// non-zero when any finding survives //hdlint:ignore suppression.
+//
+// Usage:
+//
+//	go run ./cmd/hdlint ./...
+//	go run ./cmd/hdlint -list
+//	go run ./cmd/hdlint -only hotpath,resultimmut ./internal/...
+//
+// See internal/lint/doc.go and the README's "Static analysis" section
+// for what each analyzer enforces and how to annotate or suppress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hdsampler/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("hdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(stderr, "hdlint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "hdlint:", err)
+		return 2
+	}
+	modPath, modRoot, err := lint.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "hdlint:", err)
+		return 2
+	}
+
+	loader := lint.NewLoader(lint.Root{Prefix: modPath, Dir: modRoot})
+	units, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "hdlint: load:", err)
+		return 2
+	}
+	diags := lint.Run(units, loader.Fset, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hdlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers checks the -list inventory names every analyzer.
+func TestListAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-list"}); code != 0 {
+		t.Fatalf("run -list = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"resultimmut", "nilsafe", "hotpath", "atomicmix", "errtransient"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks -only rejects names not in the suite.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-only", "nosuch"}); code != 2 {
+		t.Fatalf("run -only nosuch = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", errb.String())
+	}
+}
+
+// TestTreeIsClean runs the full suite over the repository — the same
+// invocation CI gates on. Any finding here means either a real violation
+// crept in or an analyzer grew a false positive; both block.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree analysis in -short mode")
+	}
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{"./..."})
+	if code != 0 {
+		t.Fatalf("hdlint over the tree = %d\n%s%s", code, out.String(), errb.String())
+	}
+}

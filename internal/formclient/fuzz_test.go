@@ -1,0 +1,43 @@
+package formclient
+
+import (
+	"testing"
+
+	"hdsampler/internal/datagen"
+)
+
+// FuzzParseResultPage hammers the result-page parser with arbitrary
+// bytes: whatever a misbehaving or adversarial site serves, the parser
+// must either return a page-format error or a well-formed Result — never
+// panic, and never hand back tuples whose shape disagrees with the
+// schema. The nightly fuzz smoke run (see .github/workflows/nightly.yml)
+// extends these seeds with 30s of coverage-guided exploration.
+func FuzzParseResultPage(f *testing.F) {
+	schema := datagen.Vehicles(50, 21).Schema
+	m := schema.NumAttrs()
+
+	f.Add("")
+	f.Add("<html><body></body></html>")
+	f.Add(`<div id="status" data-overflow="false"></div><div id="noresults"></div>`)
+	f.Add(`<div id="status" data-overflow="true"></div>`)
+	f.Add(`<div id="status" data-overflow="maybe"></div>`)
+	f.Add(`<div id="status" data-overflow="false"></div><div id="count" data-count="37"></div><div id="noresults"></div>`)
+	f.Add(`<div id="status" data-overflow="false"></div><div id="count" data-count="NaN"></div>`)
+	f.Add(`<div id="status" data-overflow="false"></div><a id="next" href="/results?page=2"></a><table id="results"><tr><td>#3</td></tr></table>`)
+	f.Add(`<div id="status" data-overflow="false"></div><table id="results"><tr><td>#0</td><td>junk</td><td></td><td></td><td></td><td></td></tr></table>`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		res, next, err := parseResultPage(schema, body)
+		if err != nil {
+			return
+		}
+		if res == nil {
+			t.Fatalf("nil result without error (next=%q)", next)
+		}
+		for i, tu := range res.Tuples {
+			if len(tu.Vals) != m || len(tu.Nums) != m {
+				t.Fatalf("tuple %d shape %d/%d vals/nums, want %d for schema", i, len(tu.Vals), len(tu.Nums), m)
+			}
+		}
+	})
+}

@@ -383,6 +383,7 @@ func (h *HTTP) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result,
 		if err != nil {
 			return nil, err
 		}
+		//hdlint:ignore resultimmut res is page one's freshly parsed Result (built by parseResultPage), not shared storage
 		res.Tuples = append(res.Tuples, more.Tuples...)
 		next = n
 	}

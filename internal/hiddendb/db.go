@@ -120,6 +120,7 @@ func New(schema *Schema, tuples []Tuple, ranker Ranker, cfg Config) (*DB, error)
 	m := len(schema.Attrs)
 	for i := range db.tuples {
 		t := &db.tuples[i]
+		//hdlint:ignore resultimmut New takes documented ownership of the caller's tuple slice; IDs are assigned once here
 		t.ID = i
 		if len(t.Vals) != m {
 			return nil, fmt.Errorf("hiddendb: tuple %d has %d values for %d attributes", i, len(t.Vals), m)
@@ -209,6 +210,8 @@ func (db *DB) ResetBudget() { db.queries.Store(0) }
 // The returned tuples share the database's immutable backing storage —
 // callers must treat Result.Tuples as read-only and Clone tuples they
 // intend to own (see Result's documentation).
+//
+//hdlint:hotpath
 func (db *DB) Execute(q Query) (*Result, error) {
 	if err := q.ValidateAgainst(db.schema); err != nil {
 		return nil, err
@@ -223,6 +226,7 @@ func (db *DB) Execute(q Query) (*Result, error) {
 	// afterwards. Count-free interfaces stop scanning at K+1.
 	needTotal := db.cfg.CountMode != CountNone
 	matchPos, total := db.matchPositions(sc, q, db.cfg.K+1, needTotal)
+	//hdlint:ignore hotpath the answer's documented two-allocation budget: the Result header here plus its Tuples slice below
 	res := &Result{Count: CountAbsent}
 	if total > db.cfg.K {
 		res.Overflow = true
@@ -253,6 +257,8 @@ func (db *DB) Execute(q Query) (*Result, error) {
 // binary search over the bracketed window, so a candidate costs O(log gap)
 // rather than a fresh O(log n) binary search — and an exhausted list ends
 // the whole scan early, since no later candidate can match.
+//
+//hdlint:hotpath
 func (db *DB) matchPositions(sc *matchScratch, q Query, limit int, needTotal bool) (pos []int32, total int) {
 	d := q.Len()
 	if d == 0 {
@@ -316,6 +322,8 @@ outer:
 // assuming l ascending. It probes exponentially from lo, then binary
 // searches the bracketed window, so advancing a cursor over a small gap is
 // O(log gap) with mostly-local memory accesses.
+//
+//hdlint:hotpath
 func gallop(l []int32, lo int, x int32) int {
 	if lo >= len(l) || l[lo] >= x {
 		return lo

@@ -246,6 +246,7 @@ func TestTupleCloneIndependence(t *testing.T) {
 		t.Fatal("Clone mutated shared tuple storage")
 	}
 	tu := db.Tuple(0)
+	//hdlint:ignore resultimmut deliberate canary write proving db.Tuple returns a detached Clone
 	tu.Vals[0] = 42
 	if db.Tuple(0).Vals[0] == 42 {
 		t.Fatal("Tuple returned shared storage")

@@ -2,6 +2,7 @@ package jobsvc
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -207,7 +208,7 @@ func TestShutdownDrainsAndPersistsPartials(t *testing.T) {
 	if got.Accepted == 0 || got.Checkpoint == "" {
 		t.Fatalf("partial samples not persisted: %+v", got)
 	}
-	if _, err := m.Submit(Spec{URL: srv.URL, N: 5}); err != ErrShuttingDown {
+	if _, err := m.Submit(Spec{URL: srv.URL, N: 5}); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("submit after shutdown: %v, want ErrShuttingDown", err)
 	}
 }

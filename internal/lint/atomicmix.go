@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer flags struct fields that are accessed through
+// sync/atomic in one place and by plain load or store in another — the
+// exact race class the history cache's stats fields were once bitten by:
+// an atomic.AddInt64 on one goroutine publishes nothing to a plain read
+// on another, and the race detector only notices when both paths happen
+// to run in the same test.
+//
+// Fields wrapped in the typed atomics (atomic.Int64 & friends) cannot be
+// mixed by construction; this analyzer covers the raw-integer style,
+// which new code should avoid but which creeps in with copied snippets.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flags struct fields accessed both via sync/atomic and by plain load/store; " +
+		"use the typed atomics or make every access atomic",
+	Run: runAtomicMix,
+}
+
+// atomicFns are the sync/atomic functions whose first argument is the
+// address of the guarded word.
+var atomicFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// atomicArgField resolves the field behind an atomic call argument of the
+// form &s.f or &s.f[i], returning the field object and the selector node.
+func atomicArgField(info *types.Info, arg ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	inner := un.X
+	if ix, ok := inner.(*ast.IndexExpr); ok {
+		inner = ix.X
+	}
+	sel, ok := inner.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	f, ok := s.Obj().(*types.Var)
+	if !ok || !f.IsField() {
+		return nil, nil
+	}
+	return f, sel
+}
+
+// isAtomicCall reports whether call is sync/atomic.<fn> for a guarded fn.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicFns[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: which fields does this package touch atomically, and which
+	// selector nodes are those atomic touch points?
+	atomicField := make(map[*types.Var]token.Pos)
+	atomicNode := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if fld, sel := atomicArgField(pass.Info, call.Args[0]); fld != nil {
+				if _, seen := atomicField[fld]; !seen {
+					atomicField[fld] = sel.Pos()
+				}
+				atomicNode[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicField) == 0 {
+		return
+	}
+	// Pass 2: every other selector of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicNode[sel] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			fld, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if first, isAtomic := atomicField[fld]; isAtomic {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is accessed atomically (e.g. %s) but plainly here; mixing is a data race — use sync/atomic everywhere or a typed atomic",
+					fieldDesc(fld), pass.Fset.Position(first))
+			}
+			return true
+		})
+	}
+}
+
+// fieldDesc names a field with its owning struct type when known.
+func fieldDesc(f *types.Var) string {
+	name := f.Name()
+	if f.Pkg() != nil {
+		// Search the package scope for the named type owning this field,
+		// purely to make the message readable.
+		scope := f.Pkg().Scope()
+		for _, tn := range scope.Names() {
+			obj, ok := scope.Lookup(tn).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == f {
+					return obj.Name() + "." + name
+				}
+			}
+		}
+	}
+	return name
+}

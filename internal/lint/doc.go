@@ -1,0 +1,76 @@
+// Package lint implements hdlint, the repository's custom static-analysis
+// suite: five analyzers that turn invariants the codebase otherwise states
+// only in comments into build failures. Run it with
+//
+//	go run ./cmd/hdlint ./...
+//
+// (CI runs exactly that as a blocking job). The framework mirrors the
+// shape of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic —
+// but is built purely on the standard library (go/ast, go/types, go/build,
+// go/importer's source importer), preserving the module's zero-dependency,
+// fully-offline build.
+//
+// # The analyzers
+//
+// resultimmut — hiddendb.Result and hiddendb.Tuple may alias storage
+// shared with the database's immutable table, the history cache's
+// entries, and every coalesced follower of a single-flight call. Writes
+// through them are legal only on values the function owns: ones built
+// locally (composite literal, new, zero value) or obtained from Clone.
+// Ownership is tracked per local, with Clone granting deep ownership
+// (element arrays included) and local construction only shallow ownership
+// (a fresh Result still shares its tuples' backing arrays).
+//
+// nilsafe — types marked //hdlint:nilsafe (the telemetry instruments:
+// Counter, Histogram, Tracer, WalkTrace, ...) promise that a nil receiver
+// accepts every exported method call as a no-op, so instrumented code
+// never branches on "is telemetry configured". The analyzer requires each
+// exported pointer-receiver method to begin with a nil-receiver guard:
+// an "if recv == nil" early return (possibly first in an || chain) or an
+// "if recv != nil" wrapped body (possibly first in an && chain).
+//
+// hotpath — functions annotated //hdlint:hotpath (the walker's drill-down,
+// the history cache's lookup path, the single-flight executor, the
+// database's Execute) must not introduce allocations. Flagged constructs:
+// calls into package fmt, non-constant string concatenation, &composite
+// literals, slice and map literals, capturing closures, and interface
+// boxing of non-pointer-shaped values. The AllocsPerRun ceilings in the
+// benchmark suite catch a regression after the fact as a number; this
+// names the offending line at build time.
+//
+// atomicmix — a struct field accessed through sync/atomic in one place
+// and by plain load or store in another is a data race regardless of
+// what the race detector happens to observe. Fields wrapped in typed
+// atomics are immune by construction; this covers the raw-integer style.
+//
+// errtransient — sentinel errors (package-level Err* variables, EOF)
+// compared with == or != (or matched in a switch) silently stop matching
+// the moment any layer wraps them; the tree wraps its sentinels
+// routinely, so the only correct comparison is errors.Is.
+//
+// # Annotations
+//
+// Two markers opt code in:
+//
+//	//hdlint:hotpath   on a function's doc comment: no allocating constructs
+//	//hdlint:nilsafe   on a type's doc comment: exported methods need nil guards
+//
+// One directive opts a line out:
+//
+//	//hdlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// which suppresses the named analyzers' findings on its own line and the
+// line directly below. The reason is mandatory, and malformed directives
+// (missing analyzer, unknown analyzer, missing reason) are themselves
+// reported — a typo cannot silently disable a check. Suppressions double
+// as documentation: every intentional allocation on a hot path states its
+// budget at the allocation site.
+//
+// # Testing
+//
+// Each analyzer has a corpus under testdata/src/<name> with flagging,
+// non-flagging and suppressed cases, checked by the linttest harness
+// against analysistest-style "// want" comments. Corpora are loaded
+// GOPATH-style, so the resultimmut corpus imports a miniature stub
+// "hiddendb" package rather than the real one.
+package lint

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrTransientAnalyzer flags sentinel errors compared with == or != (or
+// matched in a switch) instead of errors.Is. The tree wraps its sentinels
+// — formclient.ErrTransient, ErrRateLimited, ErrPageFormat all travel
+// inside fmt.Errorf("%w: ...") chains — so an equality comparison is not
+// merely unidiomatic, it is wrong: it can only ever see the naked
+// sentinel, never a wrapped one, and silently stops matching the moment a
+// layer adds context.
+var ErrTransientAnalyzer = &Analyzer{
+	Name: "errtransient",
+	Doc: "flags ==/!= comparisons (and switch cases) against sentinel error variables; " +
+		"wrapped sentinels only match through errors.Is",
+	Run: runErrTransient,
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// sentinelError returns the package-level error variable e denotes, or
+// nil. A sentinel is a package-scope var of error type whose name (after
+// any package qualifier) starts with "Err" — formclient.ErrTransient,
+// hiddendb.ErrBudgetExhausted, io.EOF-style names are matched via the
+// conventional Err prefix plus the stdlib's EOF.
+func sentinelError(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if name := v.Name(); len(name) < 3 || name[:3] != "Err" {
+		if name != "EOF" {
+			return nil
+		}
+	}
+	// Not error-typed at all (e.g. an ErrCount int): not a sentinel.
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) &&
+		!types.Implements(v.Type(), errorType) {
+		return nil
+	}
+	return v
+}
+
+func runErrTransient(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if v := sentinelError(pass.Info, side); v != nil {
+						pass.Reportf(x.Pos(),
+							"sentinel error %s compared with %s; wrapped errors never match — use errors.Is(err, %s)",
+							v.Name(), x.Op, v.Name())
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil {
+					return true
+				}
+				tt := pass.Info.Types[x.Tag].Type
+				if tt == nil || !types.Identical(tt.Underlying(), errorType) {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinelError(pass.Info, e); v != nil {
+							pass.Reportf(e.Pos(),
+								"sentinel error %s matched in a switch case; wrapped errors never match — use errors.Is(err, %s)",
+								v.Name(), v.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAnalyzer statically rejects allocation-introducing constructs in
+// functions annotated //hdlint:hotpath. The AllocsPerRun ceilings in the
+// alloc tests catch a regression after the fact, as a number; this check
+// names the offending line at build time. Flagged constructs:
+//
+//   - calls into package fmt (Sprintf and friends format through
+//     reflection and allocate their result);
+//   - non-constant string concatenation (a fresh backing array per +);
+//   - heap-bound composite literals: &T{...}, slice literals and map
+//     literals (plain value struct literals stay legal — they live in
+//     registers or on the stack);
+//   - capturing closures (a func literal that closes over variables
+//     usually escapes to the heap along with its captures);
+//   - interface boxing: passing, assigning, returning or converting a
+//     concrete non-pointer-shaped value into an interface slot
+//     (runtime.convT allocates; pointers, maps, chans and funcs ride in
+//     the interface word for free and are not flagged).
+//
+// Intentional allocations — a constructor's one documented &Result{} —
+// are suppressed in place with //hdlint:ignore hotpath <reason>, which
+// doubles as documentation of the function's allocation budget.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //hdlint:hotpath must avoid allocation-introducing " +
+		"constructs (fmt, string +, heap literals, capturing closures, interface boxing)",
+	Run: runHotPath,
+}
+
+const hotpathMarker = "//hdlint:hotpath"
+
+// hasHotPathMarker reports whether a function's doc comment carries the
+// annotation.
+func hasHotPathMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPath(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotPathMarker(fd.Doc) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	// Composite literals directly under a & are reported as one heap
+	// allocation at the &, not twice.
+	addrLit := make(map[*ast.CompositeLit]bool)
+
+	// Result types of the annotated function, for return-statement boxing.
+	var results []types.Type
+	if fd.Type.Results != nil {
+		for _, fld := range fd.Type.Results.List {
+			t := info.Types[fld.Type].Type
+			n := len(fld.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				results = append(results, t)
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, x)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isNonConstString(info, x) {
+				pass.Reportf(x.OpPos, "string concatenation allocates on the hot path; use a pooled []byte or precomputed key")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringExpr(info, x.Lhs[0]) {
+				pass.Reportf(x.TokPos, "string += allocates on the hot path; use a pooled []byte")
+			}
+			if x.Tok == token.ASSIGN && len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					checkBoxing(pass, info.Types[x.Lhs[i]].Type, x.Rhs[i], "assignment")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := x.X.(*ast.CompositeLit); ok {
+					addrLit[lit] = true
+					pass.Reportf(x.Pos(), "&composite literal escapes to the heap on the hot path; hoist it to a pooled or reused value")
+				}
+			}
+		case *ast.CompositeLit:
+			if addrLit[x] {
+				return true
+			}
+			t := info.Types[x].Type
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "slice literal allocates its backing array on the hot path; hoist it to a package-level or scratch slice")
+			case *types.Map:
+				pass.Reportf(x.Pos(), "map literal allocates on the hot path; hoist it to a package-level map")
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(info, x); capt != "" {
+				pass.Reportf(x.Pos(), "closure captures %s and may escape (allocating the closure and its captures); hoist it or pass state explicitly", capt)
+			}
+			// The literal's own body is still scanned by this Inspect.
+		case *ast.ReturnStmt:
+			if len(x.Results) == len(results) {
+				for i, r := range x.Results {
+					checkBoxing(pass, results[i], r, "return")
+				}
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil && len(x.Values) > 0 {
+				t := info.Types[x.Type].Type
+				for _, v := range x.Values {
+					checkBoxing(pass, t, v, "assignment")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags fmt calls, interface-boxing arguments, and boxing
+// conversions.
+func checkCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Info
+	// fmt.* on a hot path is always wrong: formatting reflects and
+	// allocates regardless of the verb.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "fmt.%s allocates on the hot path; build the value without formatting or move it off the hot path", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion T(x): boxing when T is an interface.
+		if len(call.Args) == 1 {
+			checkBoxing(pass, tv.Type, call.Args[0], "conversion")
+		}
+		return
+	}
+	if tv.IsBuiltin() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, pt, arg, "argument")
+	}
+}
+
+// checkBoxing reports a concrete, non-pointer-shaped value landing in an
+// interface-typed slot.
+func checkBoxing(pass *Pass, dst types.Type, src ast.Expr, what string) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pass.Info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return // untyped nil and constants (interned by the runtime)
+	}
+	st := tv.Type
+	if _, ok := st.Underlying().(*types.Interface); ok {
+		return
+	}
+	if pointerShaped(st) {
+		return
+	}
+	pass.Reportf(src.Pos(), "%s boxes %s into %s on the hot path (runtime.convT allocates); pass a pointer or restructure", what, types.TypeString(st, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+}
+
+// pointerShaped reports types whose interface representation is the value
+// itself (no allocation on conversion).
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isNonConstString reports a + whose result is a non-constant string.
+func isNonConstString(info *types.Info, e *ast.BinaryExpr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturedVar returns the name of one variable the func literal captures
+// from its enclosing function, or "" when it captures nothing (a static
+// closure needs no allocation).
+func capturedVar(info *types.Info, lit *ast.FuncLit) string {
+	capt := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capt != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level vars are not captures; anything declared outside
+		// the literal but in a surrounding local scope is.
+		if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			capt = v.Name()
+		}
+		return true
+	})
+	return capt
+}

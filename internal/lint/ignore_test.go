@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hdsampler/internal/lint"
+	"hdsampler/internal/lint/linttest"
+)
+
+// TestMalformedIgnores checks that broken //hdlint:ignore directives —
+// missing analyzer, missing reason, unknown analyzer — surface as
+// findings instead of silently disabling a check. The analyzer choice is
+// arbitrary; the directive diagnostics are produced by the driver.
+func TestMalformedIgnores(t *testing.T) {
+	linttest.Run(t, lint.ResultImmutAnalyzer, "badignore")
+}

@@ -1,0 +1,168 @@
+// Package linttest runs a lint.Analyzer over a corpus package and checks
+// its findings against expectations written in the corpus source, in the
+// style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	r.Overflow = true // want `write to field Overflow`
+//
+// A want comment names one or more regular expressions (backquoted or
+// double-quoted); each must match the message of a distinct diagnostic
+// reported on the comment's line. The variant "want-1" expects the
+// diagnostic on the line above — needed when the flagged line is itself a
+// comment (a malformed //hdlint:ignore directive) and cannot carry a
+// second comment.
+//
+// Corpora live under testdata/src/<pkg> and are loaded GOPATH-style, so a
+// corpus file may import a sibling corpus package by its bare name (the
+// resultimmut corpus imports a miniature "hiddendb"). Suppression via
+// //hdlint:ignore is live in corpora: a suppressed line simply carries no
+// want comment.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hdsampler/internal/lint"
+)
+
+// expectation is one want clause: a diagnostic on file:line whose message
+// matches re.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// Run loads testdata/src/<pkg> for each named corpus package, runs the
+// analyzer (with //hdlint:ignore processing, exactly as cmd/hdlint does),
+// and reports any mismatch between findings and want comments as test
+// errors.
+func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(lint.Root{Prefix: "", Dir: srcRoot})
+	var units []*lint.Package
+	for _, pkg := range pkgs {
+		us, err := loader.LoadDir(pkg, filepath.Join(srcRoot, pkg))
+		if err != nil {
+			t.Fatalf("load corpus %s: %v", pkg, err)
+		}
+		if len(us) == 0 {
+			t.Fatalf("corpus %s has no buildable Go files", pkg)
+		}
+		units = append(units, us...)
+	}
+
+	wants := collectWants(t, loader, units)
+	diags := lint.Run(units, loader.Fset, []*lint.Analyzer{a})
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s (%s)",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none",
+				filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// claim pairs a diagnostic with the first unused matching expectation.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every want comment in the units' files, deduping
+// files shared between a package and its test unit.
+func collectWants(t *testing.T, loader *lint.Loader, units []*lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	seen := make(map[string]bool)
+	for _, u := range units {
+		for _, f := range u.Files {
+			fname := loader.Fset.Position(f.Pos()).Filename
+			if seen[fname] {
+				continue
+			}
+			seen[fname] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//") {
+						continue
+					}
+					body := strings.TrimSpace(c.Text[2:])
+					offset := 0
+					switch {
+					case strings.HasPrefix(body, "want-1"):
+						offset = -1
+						body = body[len("want-1"):]
+					case strings.HasPrefix(body, "want"):
+						body = body[len("want"):]
+					default:
+						continue
+					}
+					line := loader.Fset.Position(c.Pos()).Line + offset
+					for _, raw := range splitWantClauses(t, fname, line, body) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", fname, line, raw, err)
+						}
+						wants = append(wants, &expectation{file: fname, line: line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantClauses parses the quoted regexps following a want keyword.
+func splitWantClauses(t *testing.T, fname string, line int, body string) []string {
+	t.Helper()
+	var out []string
+	for {
+		body = strings.TrimSpace(body)
+		if body == "" {
+			return out
+		}
+		switch body[0] {
+		case '`':
+			end := strings.IndexByte(body[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated backquoted want clause", fname, line)
+			}
+			out = append(out, body[1:1+end])
+			body = body[end+2:]
+		case '"':
+			q, err := strconv.QuotedPrefix(body)
+			if err != nil {
+				t.Fatalf("%s:%d: malformed quoted want clause: %v", fname, line, err)
+			}
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: malformed quoted want clause: %v", fname, line, err)
+			}
+			out = append(out, s)
+			body = body[len(q):]
+		default:
+			t.Fatalf("%s:%d: want clause must be a quoted or backquoted regexp, got %q", fname, line, body)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NilSafeAnalyzer enforces the telemetry instrument contract: every
+// exported method with a pointer receiver on a type marked
+// //hdlint:nilsafe must begin with a nil-receiver guard, so a nil
+// *Counter / *Histogram / *Tracer accepts every call as a no-op and
+// instrumented code never branches on "is telemetry configured".
+//
+// Accepted guard shapes, as the first statement of the body:
+//
+//	if c == nil { ... }            // early return
+//	if c == nil || c.x == nil ...  // nil check first in an || chain
+//	if c != nil { ... }            // whole body wrapped
+//
+// Methods with an unnamed (or _) receiver cannot dereference it and are
+// accepted as trivially nil-safe.
+var NilSafeAnalyzer = &Analyzer{
+	Name: "nilsafe",
+	Doc: "exported pointer-receiver methods on //hdlint:nilsafe types must begin with " +
+		"a nil-receiver guard",
+	Run: runNilSafe,
+}
+
+const nilsafeMarker = "//hdlint:nilsafe"
+
+// nilsafeTypes collects the names of types in this package whose
+// declaration carries the //hdlint:nilsafe marker (in the type's doc
+// comment or the grouped declaration's).
+func nilsafeTypes(files []*ast.File) map[string]bool {
+	marked := make(map[string]bool)
+	hasMarker := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				text := strings.TrimSpace(c.Text)
+				if text == nilsafeMarker || strings.HasPrefix(text, nilsafeMarker+" ") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc, ts.Doc, ts.Comment) {
+					marked[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// receiverTypeName returns the name of a method's receiver base type and
+// whether the receiver is a pointer.
+func receiverTypeName(fd *ast.FuncDecl) (name string, pointer bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		pointer = true
+		t = st.X
+	}
+	// Generic receivers (T[P]) do not occur in this tree; handle the
+	// plain identifier form.
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, pointer
+	}
+	return "", false
+}
+
+// beginsWithNilGuard reports whether the body's first statement guards
+// the named receiver against nil.
+func beginsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	// Walk to the leftmost term of the condition's logical chain:
+	// short-circuit evaluation makes "recv == nil || recv.f == x" and
+	// "recv != nil && recv.f == x" safe only when the nil check comes
+	// first. The outermost operator decides which comparison guards:
+	// "== nil" needs an || chain (early return), "!= nil" an && chain
+	// (wrapped body); mixing them lets a nil receiver slip through.
+	cond := ifStmt.Cond
+	outer := token.ILLEGAL
+	for {
+		b, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if b.Op == token.LOR || b.Op == token.LAND {
+			if outer == token.ILLEGAL {
+				outer = b.Op
+			}
+			cond = b.X
+			continue
+		}
+		switch b.Op {
+		case token.EQL:
+			return outer != token.LAND && isNilCompare(b, recv)
+		case token.NEQ:
+			return outer != token.LOR && isNilCompare(b, recv)
+		}
+		return false
+	}
+}
+
+func isNilCompare(b *ast.BinaryExpr, recv string) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(b.X) && isNil(b.Y)) || (isNil(b.X) && isRecv(b.Y))
+}
+
+func runNilSafe(pass *Pass) {
+	marked := nilsafeTypes(pass.Files)
+	if len(marked) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			tname, pointer := receiverTypeName(fd)
+			if !pointer || !marked[tname] {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) == 0 || names[0].Name == "_" {
+				continue // unnamed receiver: cannot be dereferenced
+			}
+			if fd.Body == nil {
+				continue
+			}
+			if !beginsWithNilGuard(fd.Body, names[0].Name) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported method (*%s).%s must begin with a nil-receiver guard (%s is marked %s)",
+					tname, fd.Name.Name, tname, nilsafeMarker)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package atomicmix is the corpus for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	clean  int64
+}
+
+func (s *stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+}
+
+// A plain read of an atomically written field is the race.
+func (s *stats) mixedRead() int64 {
+	return s.hits // want `field stats\.hits is accessed atomically`
+}
+
+// A plain write is the same race from the other side.
+func (s *stats) mixedWrite() {
+	s.misses = 0 // want `field stats\.misses is accessed atomically`
+}
+
+// Consistently atomic access is the contract.
+func (s *stats) atomicRead() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// A field never touched atomically may be accessed plainly.
+func (s *stats) plainOnly() int64 {
+	s.clean++
+	return s.clean
+}
+
+// Suppression covers the documented single-goroutine window.
+func (s *stats) suppressedRead() int64 {
+	//hdlint:ignore atomicmix constructor-only read before the struct is published
+	return s.hits
+}

@@ -1,0 +1,43 @@
+// Package errtransient is the corpus for the errtransient analyzer.
+package errtransient
+
+import "errors"
+
+// ErrBudget is a conventional package-level sentinel.
+var ErrBudget = errors.New("budget exhausted")
+
+// ErrCount is error-named but not error-typed: not a sentinel.
+var ErrCount = 3
+
+func compare(err error) bool {
+	if err == ErrBudget { // want `sentinel error ErrBudget compared with ==`
+		return true
+	}
+	if ErrBudget != err { // want `sentinel error ErrBudget compared with !=`
+		return false
+	}
+	return errors.Is(err, ErrBudget)
+}
+
+func switched(err error) string {
+	switch err {
+	case ErrBudget: // want `sentinel error ErrBudget matched in a switch case`
+		return "budget"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+func notSentinel(err error) bool {
+	errLocal := errors.New("local")
+	if err == errLocal { // function-scoped: not a sentinel
+		return true
+	}
+	return ErrCount == 3 // error-named int: not a sentinel
+}
+
+func suppressed(err error) bool {
+	//hdlint:ignore errtransient corpus exercises the suppression path
+	return err == ErrBudget
+}

@@ -1,0 +1,36 @@
+// Package hiddendb is a miniature stand-in for the module's real
+// hiddendb package. The resultimmut analyzer matches by package *name*
+// plus type name, so the corpus only needs the shapes — Result and Tuple
+// with their conventional fields and Clone methods — not the behavior.
+package hiddendb
+
+// Tuple mirrors the real Tuple's shape.
+type Tuple struct {
+	ID   int
+	Vals []int
+	Nums []float64
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := t
+	c.Vals = append([]int(nil), t.Vals...)
+	c.Nums = append([]float64(nil), t.Nums...)
+	return c
+}
+
+// Result mirrors the real Result's shape.
+type Result struct {
+	Overflow bool
+	Count    int
+	Tuples   []Tuple
+}
+
+// Clone returns a deep copy of the result.
+func (r *Result) Clone() *Result {
+	c := &Result{Overflow: r.Overflow, Count: r.Count, Tuples: make([]Tuple, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		c.Tuples[i] = t.Clone()
+	}
+	return c
+}

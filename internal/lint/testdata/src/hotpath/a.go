@@ -1,0 +1,58 @@
+// Package hotpath is the corpus for the hotpath analyzer.
+package hotpath
+
+import "fmt"
+
+// S is a plain value struct; boxing it into an interface allocates.
+type S struct{ a, b int }
+
+func sink(v interface{})    {}
+func sinkPtr(p interface{}) {}
+
+// Every allocation-introducing construct in one annotated function.
+//
+//hdlint:hotpath
+func flagged(name string, xs []int, v S) string {
+	s := fmt.Sprintf("%d", len(xs)) // want `fmt\.Sprintf allocates`
+	s = s + name                    // want `string concatenation allocates`
+	s += name                       // want `string \+= allocates`
+	p := &S{a: 1}                   // want `&composite literal escapes`
+	ys := []int{1, 2}               // want `slice literal allocates`
+	m := map[int]int{}              // want `map literal allocates`
+	n := len(ys) + m[0] + p.a
+	f := func() { n++ } // want `closure captures n`
+	f()
+	var boxed interface{} = v // want `assignment boxes S`
+	_ = boxed
+	sink(v) // want `argument boxes S`
+	return s
+}
+
+// The legal repertoire: value struct literals, make, appends into passed
+// slices, pointer-shaped values crossing interface boundaries, constants.
+//
+//hdlint:hotpath
+func clean(xs []int, p *S) int {
+	v := S{a: 1}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	sinkPtr(p)
+	var c interface{} = 3
+	_ = c
+	return total + v.a
+}
+
+// Unannotated functions may allocate freely.
+func unannotated() *S {
+	return &S{a: 2}
+}
+
+// A documented allocation budget is suppressed in place.
+//
+//hdlint:hotpath
+func suppressed() *S {
+	//hdlint:ignore hotpath the constructor's one documented allocation
+	return &S{a: 3}
+}

@@ -1,0 +1,91 @@
+// Package nilsafe is the corpus for the nilsafe analyzer.
+package nilsafe
+
+// Counter is a marked instrument: every exported pointer-receiver method
+// must open with a nil-receiver guard.
+//
+//hdlint:nilsafe
+type Counter struct {
+	n   int64
+	aux *Counter
+}
+
+func (c *Counter) Inc() { // want `\(\*Counter\)\.Inc must begin with a nil-receiver guard`
+	c.n++
+}
+
+// The early-return form.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.n += n
+}
+
+// The wrapped-body form.
+func (c *Counter) Value() int64 {
+	if c != nil {
+		return c.n
+	}
+	return 0
+}
+
+// An || chain guards when the nil check is its first term.
+func (c *Counter) First() int64 {
+	if c == nil || c.aux == nil {
+		return 0
+	}
+	return c.aux.n
+}
+
+// An && chain guards with != nil: the body only runs non-nil.
+func (c *Counter) Wrapped(n int64) {
+	if c != nil && n > 0 {
+		c.n += n
+	}
+}
+
+// == nil inside an && chain does NOT guard: a nil receiver skips the if
+// and falls through to the dereference below.
+func (c *Counter) Mixed(n int64) { // want `\(\*Counter\)\.Mixed must begin with a nil-receiver guard`
+	if c == nil && n > 0 {
+		return
+	}
+	c.n += n
+}
+
+// The guard must test the receiver, not some other variable.
+func (c *Counter) Other(d *Counter) { // want `\(\*Counter\)\.Other must begin with a nil-receiver guard`
+	if d == nil {
+		return
+	}
+	c.n++
+}
+
+// A leading statement before the guard defeats the contract.
+func (c *Counter) Late() int64 { // want `\(\*Counter\)\.Late must begin with a nil-receiver guard`
+	v := int64(1)
+	if c == nil {
+		return v
+	}
+	return c.n
+}
+
+// Unexported methods are not part of the exported contract.
+func (c *Counter) inc() { c.n++ }
+
+// Value receivers cannot be nil.
+func (c Counter) Snapshot() int64 { return c.n }
+
+// An unnamed receiver cannot be dereferenced: trivially nil-safe.
+func (*Counter) Doc() string { return "counter" }
+
+// Unmarked types are not checked.
+type Plain struct{ n int64 }
+
+func (p *Plain) Inc() { p.n++ }
+
+// Suppression applies here as everywhere.
+//
+//hdlint:ignore nilsafe corpus exercises the suppression path
+func (c *Counter) Reset() { c.n = 0 }

@@ -1,0 +1,67 @@
+// Package resultimmut is the corpus for the resultimmut analyzer.
+package resultimmut
+
+import "hiddendb"
+
+// Values arriving from outside are shared; writes through them are the
+// exact bug class the analyzer exists for.
+func flagged(r *hiddendb.Result, t hiddendb.Tuple) {
+	r.Overflow = true              // want `write to field Overflow`
+	r.Count++                      // want `write to field Count`
+	r.Tuples[0] = hiddendb.Tuple{} // want `write into Tuples storage`
+	r.Tuples[0].ID = 7             // want `write to field ID`
+	t.Vals[0] = 1                  // want `write into Vals element storage`
+	t.Nums[0] = 2.5                // want `write into Nums element storage`
+}
+
+// Locally constructed values are owned and freely mutable.
+func constructed() hiddendb.Result {
+	r := &hiddendb.Result{}
+	r.Overflow = true
+	r.Tuples = make([]hiddendb.Tuple, 1)
+	r.Tuples[0] = hiddendb.Tuple{}
+	var t hiddendb.Tuple
+	t.ID = 3
+	t.Vals = []int{1}
+	t.Vals[0] = 2
+	q := new(hiddendb.Result)
+	q.Count = 4
+	return *r
+}
+
+// Clone grants deep ownership: even element storage is fresh.
+func cloned(r *hiddendb.Result) {
+	c := r.Clone()
+	c.Tuples[0].Vals[0] = 1
+	tu := r.Tuples[0].Clone()
+	tu.Vals[0] = 2
+	tu.Nums[0] = 3.5
+}
+
+// A shallowly built Result still shares its tuples' backing arrays: the
+// header is owned, the element storage is not.
+func shallowSharing(r *hiddendb.Result) {
+	c := &hiddendb.Result{Tuples: r.Tuples}
+	c.Count = 1
+	c.Tuples[0].Vals[0] = 3 // want `write into Vals element storage`
+}
+
+// Reassignment from a shared value poisons earlier ownership.
+func poisoned(r *hiddendb.Result) {
+	c := &hiddendb.Result{}
+	c = r
+	c.Overflow = true // want `write to field Overflow`
+}
+
+// Range variables copy the struct but alias its element storage.
+func ranged(r *hiddendb.Result) {
+	for _, t := range r.Tuples {
+		t.Vals[0] = 4 // want `write into Vals element storage`
+	}
+}
+
+// Suppression: the write is acknowledged in place, with a reason.
+func suppressed(r *hiddendb.Result) {
+	//hdlint:ignore resultimmut corpus exercises the suppression path
+	r.Count = 9
+}

@@ -263,6 +263,8 @@ func (x *Executor) Limiter() *Limiter { return x.opts.Limiter }
 // signature hash (full-key verified), and followers share the leader's
 // Result outright — Results are immutable by convention, so fan-out costs
 // no deep copies.
+//
+//hdlint:hotpath
 func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Result, error) {
 	x.queries.Add(1)
 	tr := telemetry.TraceFrom(ctx)
@@ -277,6 +279,8 @@ func (x *Executor) Execute(ctx context.Context, q hiddendb.Query) (*hiddendb.Res
 
 // execute is Execute's single-flight body; tr is the caller's walk trace
 // (nil when untraced).
+//
+//hdlint:hotpath
 func (x *Executor) execute(ctx context.Context, q hiddendb.Query, tr *telemetry.WalkTrace) (*hiddendb.Result, error) {
 	hash, key := q.Hash(), q.Key()
 	for {
@@ -301,6 +305,7 @@ func (x *Executor) execute(ctx context.Context, q hiddendb.Query, tr *telemetry.
 			tr.MarkExec(telemetry.ExecCoalesced)
 			return c.res, nil
 		}
+		//hdlint:ignore hotpath the leader's flight record: one allocation per distinct in-flight query, amortized across every coalesced follower
 		c := &call{key: key, done: make(chan struct{})}
 		c.next = x.calls[hash]
 		x.calls[hash] = c

@@ -19,6 +19,8 @@ const numBuckets = 40
 // non-positive samples. The zero value is ready to use, and a nil
 // *Histogram ignores observations, so instrumented code never branches
 // on configuration.
+//
+//hdlint:nilsafe
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
@@ -28,6 +30,8 @@ type Histogram struct {
 
 // Observe records one duration. It is atomic, allocation-free, and a
 // no-op on a nil receiver.
+//
+//hdlint:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
@@ -64,10 +68,10 @@ type HistogramSnapshot struct {
 // Snapshot copies the histogram's counters; safe on a nil receiver
 // (returns a zero snapshot).
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	var s HistogramSnapshot
 	if h == nil {
-		return s
+		return HistogramSnapshot{}
 	}
+	var s HistogramSnapshot
 	s.Count = h.count.Load()
 	s.Sum = time.Duration(h.sum.Load())
 	s.Max = time.Duration(h.max.Load())
@@ -139,6 +143,8 @@ func (s HistogramSnapshot) Summary() Summary {
 // per-job). Hot paths call With once and keep the returned *Histogram;
 // With itself takes a mutex and is not for per-sample use. A nil
 // *HistogramVec returns nil histograms, which ignore observations.
+//
+//hdlint:nilsafe
 type HistogramVec struct {
 	label string
 

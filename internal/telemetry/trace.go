@@ -116,6 +116,8 @@ const maxTraceLevels = 256
 // of walks, travel down the stack via WithTrace/TraceFrom, and are owned
 // by a single walker goroutine until Finish hands them to the ring
 // buffer. All methods are no-ops on a nil receiver.
+//
+//hdlint:nilsafe
 type WalkTrace struct {
 	tracer *Tracer
 
@@ -157,6 +159,9 @@ func (t *WalkTrace) BeginLevel(walk, depth, attr, value int) {
 
 // EndLevel closes the current span with its outcome and total latency.
 func (t *WalkTrace) EndLevel(out LevelOutcome, d time.Duration) {
+	if t == nil {
+		return
+	}
 	if s := t.cur(); s != nil {
 		s.Outcome = out
 		s.Latency = d
@@ -166,6 +171,9 @@ func (t *WalkTrace) EndLevel(out LevelOutcome, d time.Duration) {
 
 // MarkCache records the history layer's answer for the current span.
 func (t *WalkTrace) MarkCache(o CacheOutcome, lookup time.Duration) {
+	if t == nil {
+		return
+	}
 	if s := t.cur(); s != nil {
 		s.Cache = o
 		s.CacheLatency = lookup
@@ -174,6 +182,9 @@ func (t *WalkTrace) MarkCache(o CacheOutcome, lookup time.Duration) {
 
 // MarkExec records the execution layer's outcome for the current span.
 func (t *WalkTrace) MarkExec(o ExecOutcome) {
+	if t == nil {
+		return
+	}
 	if s := t.cur(); s != nil {
 		s.Exec = o
 	}
@@ -181,6 +192,9 @@ func (t *WalkTrace) MarkExec(o ExecOutcome) {
 
 // AddRetry counts one transient wire retry against the current span.
 func (t *WalkTrace) AddRetry() {
+	if t == nil {
+		return
+	}
 	if s := t.cur(); s != nil {
 		s.Retries++
 	}
@@ -188,6 +202,9 @@ func (t *WalkTrace) AddRetry() {
 
 // SetAIMDLimit records the limiter window at wire-send time.
 func (t *WalkTrace) SetAIMDLimit(limit float64) {
+	if t == nil {
+		return
+	}
 	if s := t.cur(); s != nil {
 		s.AIMDLimit = limit
 	}
@@ -259,6 +276,8 @@ type TracerOptions struct {
 // pool, and keeps the most recent finished traces in a fixed ring buffer
 // for /debug/walks. A nil *Tracer never samples. Safe for concurrent use
 // by many walker goroutines.
+//
+//hdlint:nilsafe
 type Tracer struct {
 	threshold uint64 // sample when the next splitmix64 draw is below this
 	capacity  int

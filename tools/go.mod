@@ -1,0 +1,22 @@
+// Module tools pins the repository's development-tool versions with Go
+// 1.24 tool directives, so CI never re-resolves a floating @latest (or a
+// drifting @2025.1 alias) and every run uses the same analyzer builds.
+//
+// It is a separate module on purpose: the main module has zero external
+// dependencies and builds fully offline, and these tools are wanted only
+// on networked CI runners. CI extracts the pinned versions from this
+// file (go mod edit -json tools/go.mod) and runs the tools with
+// `go run <path>@<version>`; nothing imports this module.
+module hdsampler/tools
+
+go 1.24
+
+tool (
+	golang.org/x/vuln/cmd/govulncheck
+	honnef.co/go/tools/cmd/staticcheck
+)
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1 // staticcheck 2025.1.1
+)

@@ -38,7 +38,7 @@ func benchExperiment(b *testing.B, id string) {
 	var tbl *experiments.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tbl, err = e.Run(experiments.ScaleSmall)
+		tbl, err = e.Run(context.Background(), experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -209,9 +209,10 @@ func main() {
 
 	report := benchReport{GeneratedAt: time.Now().UTC(), Scale: strings.ToLower(*scaleF)}
 	failed := 0
+	ctx := context.Background()
 	for _, e := range selected {
 		start := time.Now()
-		tbl, err := e.Run(scale)
+		tbl, err := e.Run(ctx, scale)
 		res := benchResult{ID: e.ID, Title: e.Title, Seconds: time.Since(start).Seconds()}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)

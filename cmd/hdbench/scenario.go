@@ -25,7 +25,7 @@ func scenarioExperiment() experiments.Experiment {
 }
 
 // runScenarioExperiment runs the matrix slice and renders it as a table.
-func runScenarioExperiment(s Scale) (*experiments.Table, error) {
+func runScenarioExperiment(ctx context.Context, s Scale) (*experiments.Table, error) {
 	cfg := scenario.Config{
 		Seed:           42,
 		SamplesPerCell: 200,
@@ -35,7 +35,7 @@ func runScenarioExperiment(s Scale) (*experiments.Table, error) {
 		cfg.SamplesPerCell = 600
 		cfg.Datasets = scenario.DefaultDatasets(false)
 	}
-	rep, err := scenario.Run(context.Background(), cfg)
+	rep, err := scenario.Run(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

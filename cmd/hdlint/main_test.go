@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run(&out, &errb, []string{"-list"}); code != 0 {
 		t.Fatalf("run -list = %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"resultimmut", "nilsafe", "hotpath", "atomicmix", "errtransient"} {
+	for _, name := range []string{
+		"resultimmut", "nilsafe", "hotpath", "atomicmix", "errtransient",
+		"lockorder", "goleak", "ctxflow", "zerocost",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -29,6 +33,86 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 }
 
+// TestDedup loads the fixture module's package a both directly and as a
+// dependency of b: its finding must print exactly once — the regression
+// guard for double-reported diagnostics.
+func TestDedup(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{"-C", "testdata/dedupmod", "./a", "./b"})
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (one finding)\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if n := strings.Count(out.String(), "context.Background"); n != 1 {
+		t.Errorf("finding printed %d times, want exactly once:\n%s", n, out.String())
+	}
+}
+
+// TestFactsOnlyDepsStaySilent analyzes only ./b; package a is loaded as
+// a facts-only dependency and its finding must not surface.
+func TestFactsOnlyDepsStaySilent(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{"-C", "testdata/dedupmod", "./b"})
+	if code != 0 {
+		t.Fatalf("run ./b = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no output for ./b, got:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks the -json wire format: module-relative file,
+// position, analyzer, message.
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{"-C", "testdata/dedupmod", "-json", "./a"})
+	if code != 1 {
+		t.Fatalf("run -json ./a = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "ctxflow" || d.File != "a/a.go" || d.Line == 0 || d.Column == 0 ||
+		!strings.Contains(d.Message, "context.Background") {
+		t.Errorf("unexpected JSON finding: %+v", d)
+	}
+}
+
+// TestCache runs the same invocation twice against one cache directory;
+// the second run must hit the cache and reproduce output and exit code.
+func TestCache(t *testing.T) {
+	dir := t.TempDir()
+	var out1, err1 strings.Builder
+	code1 := run(&out1, &err1, []string{"-C", "testdata/dedupmod", "-cache", dir, "./a"})
+	if code1 != 1 {
+		t.Fatalf("first run = %d, want 1\nstderr: %s", code1, err1.String())
+	}
+	if strings.Contains(err1.String(), "cache hit") {
+		t.Fatalf("first run must miss the cache: %s", err1.String())
+	}
+	var out2, err2 strings.Builder
+	code2 := run(&out2, &err2, []string{"-C", "testdata/dedupmod", "-cache", dir, "./a"})
+	if code2 != 1 {
+		t.Fatalf("second run = %d, want 1\nstderr: %s", code2, err2.String())
+	}
+	if !strings.Contains(err2.String(), "cache hit") {
+		t.Errorf("second run did not hit the cache: %s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("cached output differs:\nfirst:\n%s\nsecond:\n%s", out1.String(), out2.String())
+	}
+}
+
 // TestTreeIsClean runs the full suite over the repository — the same
 // invocation CI gates on. Any finding here means either a real violation
 // crept in or an analyzer grew a false positive; both block.
@@ -40,5 +124,18 @@ func TestTreeIsClean(t *testing.T) {
 	code := run(&out, &errb, []string{"./..."})
 	if code != 0 {
 		t.Fatalf("hdlint over the tree = %d\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// TestTreeIsCleanInterprocedural gates the interprocedural analyzers on
+// their own, mirroring the dedicated CI step.
+func TestTreeIsCleanInterprocedural(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree analysis in -short mode")
+	}
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{"-only", "lockorder,goleak,ctxflow,zerocost", "./..."})
+	if code != 0 {
+		t.Fatalf("hdlint -only interprocedural over the tree = %d\n%s%s", code, out.String(), errb.String())
 	}
 }

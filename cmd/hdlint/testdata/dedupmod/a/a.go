@@ -1,0 +1,11 @@
+// Package a carries one deliberate ctxflow finding for the
+// deduplication and facts-only regression tests: it is loaded both as a
+// requested pattern and as a dependency of package b.
+package a
+
+import "context"
+
+// Fresh returns a detached root context.
+func Fresh() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,3 @@
+module dedupmod
+
+go 1.21

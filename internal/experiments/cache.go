@@ -20,7 +20,7 @@ import (
 // plus deep-query ancestor inference. The sharded/indexed redesign is
 // what makes these numbers flat in the worker count; the table records
 // the trajectory per PR via hdbench -json.
-func CacheConcurrency(sc Scale) (*Table, error) {
+func CacheConcurrency(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(5000, 20000)
 	opsPerWorker := sc.pick(2000, 10000)
 	deepOps := sc.pick(500, 4000)
@@ -30,7 +30,6 @@ func CacheConcurrency(sc Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	cache := history.New(formclient.NewLocal(db), history.Options{})
 
 	// Warm a hot working set: the (make, condition) slices replicas

@@ -17,14 +17,13 @@ import (
 // one aggregate question ("the percentage of Japanese cars") from a small
 // sample costs a tiny fraction of crawling the database, and the gap
 // widens with inventory size while the sample cost stays flat.
-func CrawlVsSample(sc Scale) (*Table, error) {
+func CrawlVsSample(ctx context.Context, sc Scale) (*Table, error) {
 	sizes := []int{2000, 10000}
 	if sc == ScaleFull {
 		sizes = []int{10000, 50000, 200000}
 	}
 	k := 100
 	const wantSamples = 200
-	ctx := context.Background()
 	t := &Table{
 		ID:      "crawl",
 		Title:   "crawl vs sample: cost to answer '% japanese cars'",

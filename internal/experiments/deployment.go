@@ -19,7 +19,7 @@ import (
 // rate limiting with 429 retries, politeness delays, approximate counts —
 // and reports the end-to-end bill. This is the demo's operating condition
 // (a live web site), not a lab shortcut.
-func Deployment(sc Scale) (*Table, error) {
+func Deployment(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(4000, 20000)
 	samples := sc.pick(60, 200)
 	ds := datagen.Vehicles(n, 111)
@@ -34,7 +34,6 @@ func Deployment(sc Scale) (*Table, error) {
 	}))
 	defer srv.Close()
 
-	ctx := context.Background()
 	t := &Table{
 		ID:      "deployment",
 		Title:   "sampling through the fully realistic interface (pagination + rate limit + scraping)",

@@ -22,7 +22,7 @@ import (
 // level is one HTTP query against a rate-limited site), so the headline
 // number is wire requests per logical query — the fraction of the
 // politeness budget each configuration burns for the same sample.
-func ExecLayer(sc Scale) (*Table, error) {
+func ExecLayer(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(3000, 20000)
 	perWorker := sc.pick(12, 60)
 	const workers = 8
@@ -62,7 +62,6 @@ func ExecLayer(sc Scale) (*Table, error) {
 			exec = queryexec.New(api, opts)
 			conn = exec
 		}
-		ctx := context.Background()
 		if _, err := conn.Schema(ctx); err != nil {
 			return nil, err
 		}

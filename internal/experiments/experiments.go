@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -90,11 +91,14 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Experiment couples an ID with its runner.
+// Experiment couples an ID with its runner. Run accepts the caller's
+// context so a whole exhibit sweep can be cancelled or deadlined from the
+// entry point (cmd/hdbench flag, test timeout) instead of each experiment
+// minting its own detached root.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Scale) (*Table, error)
+	Run   func(context.Context, Scale) (*Table, error)
 }
 
 // All lists every experiment in presentation order.

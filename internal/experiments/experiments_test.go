@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ func TestAllExperimentsRunSmall(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			tbl, err := e.Run(ScaleSmall)
+			tbl, err := e.Run(context.Background(), ScaleSmall)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -60,7 +61,7 @@ func TestByIDAndIDs(t *testing.T) {
 // TestFigure1ExactNumbers pins the worked example's numbers: they are
 // analytic and must never drift.
 func TestFigure1ExactNumbers(t *testing.T) {
-	tbl, err := Figure1(ScaleSmall)
+	tbl, err := Figure1(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestFigure1ExactNumbers(t *testing.T) {
 // TestTradeoffShape verifies the headline slider property: cost falls and
 // skew rises monotonically as the slider moves toward efficiency.
 func TestTradeoffShape(t *testing.T) {
-	tbl, err := Tradeoff(ScaleSmall)
+	tbl, err := Tradeoff(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func padPos(p string) string {
 // TestHistorySavesQueries pins the §3.2 claim: the cache strictly reduces
 // queries sent.
 func TestHistorySavesQueries(t *testing.T) {
-	tbl, err := History(ScaleSmall)
+	tbl, err := History(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestHistorySavesQueries(t *testing.T) {
 // TestBruteForceDominated pins §3.4: brute force costs orders of magnitude
 // more than the walk and the gap widens with m.
 func TestBruteForceDominated(t *testing.T) {
-	tbl, err := BruteForceTable(ScaleSmall)
+	tbl, err := BruteForceTable(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestBruteForceDominated(t *testing.T) {
 
 // TestOrderingReducesSkew pins the 2007 optimization's direction.
 func TestOrderingReducesSkew(t *testing.T) {
-	tbl, err := Ordering(ScaleSmall)
+	tbl, err := Ordering(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestOrderingReducesSkew(t *testing.T) {
 // histogram approaches truth and costs far fewer queries per sample than
 // brute force.
 func TestFigure4Shape(t *testing.T) {
-	tbl, err := Figure4(ScaleSmall)
+	tbl, err := Figure4(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,7 @@ func marginalTV(db *hiddendb.DB, samples []hiddendb.Tuple, attr int) float64 {
 // Figure1 reproduces the paper's worked example: the query tree of the
 // 4-tuple boolean database, each tuple's exact reach probability, and the
 // effect of acceptance/rejection at the uniformizing C.
-func Figure1(Scale) (*Table, error) {
+func Figure1(context.Context, Scale) (*Table, error) {
 	s := hiddendb.MustSchema("fig1",
 		hiddendb.BoolAttr("a1"), hiddendb.BoolAttr("a2"), hiddendb.BoolAttr("a3"))
 	tuples := []hiddendb.Tuple{
@@ -100,14 +100,13 @@ func minF(a, b float64) float64 {
 // Figure2 reproduces the architecture demonstration: the incremental
 // Generator→Processor→Output pipeline delivering samples continuously, and
 // the kill switch stopping a run mid-flight.
-func Figure2(sc Scale) (*Table, error) {
+func Figure2(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(4000, 20000)
 	target := sc.pick(80, 200)
 	db, err := vehiclesDB(n, 100, hiddendb.CountNone, 2)
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	conn := history.New(formclient.NewLocal(db), history.Options{})
 	gen, err := core.NewWalker(ctx, conn, core.WalkerConfig{Seed: 3, Order: core.OrderShuffle})
 	if err != nil {
@@ -172,14 +171,13 @@ func Figure2(sc Scale) (*Table, error) {
 // Figure3 reproduces the attribute-settings exhibit: restricting the
 // sampler to a subset of attributes (the Fig. 3 checkboxes) changes walk
 // depth and cost but keeps the scoped marginals accurate.
-func Figure3(sc Scale) (*Table, error) {
+func Figure3(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(4000, 20000)
 	samples := sc.pick(150, 400)
 	db, err := vehiclesDB(n, 100, hiddendb.CountNone, 7)
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	configs := []struct {
 		name  string
 		attrs []int
@@ -223,7 +221,7 @@ func Figure3(sc Scale) (*Table, error) {
 // HDSampler against ground truth and against the BRUTE-FORCE-SAMPLER
 // reference, sampled through the live HTTP form interface with Google
 // Base's k = 1000.
-func Figure4(sc Scale) (*Table, error) {
+func Figure4(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(5000, 50000)
 	steps := []int{sc.pick(50, 100), sc.pick(150, 500), sc.pick(400, 2000)}
 	bruteSamples := sc.pick(60, 300)
@@ -235,7 +233,6 @@ func Figure4(sc Scale) (*Table, error) {
 	srv := httptest.NewServer(webform.NewServer(db, webform.Options{}))
 	defer srv.Close()
 
-	ctx := context.Background()
 	conn := history.New(
 		formclient.NewHTTP(srv.URL, formclient.HTTPOptions{Client: srv.Client()}),
 		history.Options{})

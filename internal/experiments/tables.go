@@ -19,7 +19,7 @@ import (
 // TopK reproduces the §2 list of real top-k limits — Google (1000), MSN
 // Career (4000), Microsoft Solution Finder (500), MSN Stock Screener
 // (25) — showing how the interface's k shapes walk cost and skew.
-func TopK(sc Scale) (*Table, error) {
+func TopK(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(5000, 50000)
 	ds := datagen.Vehicles(n, 21)
 	t := &Table{
@@ -75,7 +75,7 @@ func cloneTuples(in []hiddendb.Tuple) []hiddendb.Tuple {
 // Tradeoff reproduces the §3.1 slider: sweeping the target reach
 // probability C between provably-uniform and accept-everything, reporting
 // the exact skew and query cost at each stop.
-func Tradeoff(sc Scale) (*Table, error) {
+func Tradeoff(ctx context.Context, sc Scale) (*Table, error) {
 	m := sc.pick(10, 14)
 	n := sc.pick(500, 2000)
 	k := 10
@@ -135,7 +135,7 @@ func reachableSkew(d *exact.Dist, c float64) float64 {
 
 // History reproduces the §3.2 optimization from [2]: the query-history
 // cache answering repeated and inferable queries locally.
-func History(sc Scale) (*Table, error) {
+func History(ctx context.Context, sc Scale) (*Table, error) {
 	m := sc.pick(12, 16)
 	n := sc.pick(1000, 5000)
 	k := 50
@@ -146,7 +146,6 @@ func History(sc Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	t := &Table{
 		ID:      "history",
 		Title:   "query-history reuse: interface queries with and without the cache",
@@ -200,7 +199,7 @@ func History(sc Scale) (*Table, error) {
 
 // BruteForceTable reproduces §3.4's justification for validating with —
 // but never deploying — BRUTE-FORCE-SAMPLER.
-func BruteForceTable(sc Scale) (*Table, error) {
+func BruteForceTable(ctx context.Context, sc Scale) (*Table, error) {
 	// Hidden databases are sparse: the cross-product space dwarfs the row
 	// count (vehicles: 2.4e8 cells for tens of thousands of rows). Fix n
 	// and grow m to show the exponential divergence.
@@ -243,11 +242,10 @@ func BruteForceTable(sc Scale) (*Table, error) {
 
 // CountLeverage reproduces the ICDE 2009 comparison the demo cites as [2]:
 // what count reporting buys.
-func CountLeverage(sc Scale) (*Table, error) {
+func CountLeverage(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(5000, 50000)
 	k := 1000
 	samples := sc.pick(100, 300)
-	ctx := context.Background()
 	t := &Table{
 		ID:      "count",
 		Title:   "leveraging counts: cost and accuracy by interface count mode",
@@ -321,7 +319,7 @@ func CountLeverage(sc Scale) (*Table, error) {
 // Aggregates reproduces the paper's motivating use case: "the percentage
 // of Japanese cars in the dealer's inventory" plus COUNT/SUM/AVG (§3.4),
 // with error shrinking as samples accumulate.
-func Aggregates(sc Scale) (*Table, error) {
+func Aggregates(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(5000, 50000)
 	k := 1000
 	sizes := []int{50, 100}
@@ -332,7 +330,6 @@ func Aggregates(sc Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	conn := history.New(formclient.NewLocal(db), history.Options{})
 	gen, err := core.NewWalker(ctx, conn, core.WalkerConfig{Seed: 72, Order: core.OrderShuffle})
 	if err != nil {
@@ -398,14 +395,13 @@ func Aggregates(sc Scale) (*Table, error) {
 
 // Scalability reproduces the abstract's "snapshot of the marginal
 // distribution ... in a matter of minutes" claim across database sizes.
-func Scalability(sc Scale) (*Table, error) {
+func Scalability(ctx context.Context, sc Scale) (*Table, error) {
 	sizes := []int{2000, 10000}
 	if sc == ScaleFull {
 		sizes = []int{10000, 50000, 200000, 1000000}
 	}
 	samples := sc.pick(100, 500)
 	k := 1000
-	ctx := context.Background()
 	t := &Table{
 		ID:      "scale",
 		Title:   "wall time and queries to a fixed sample count vs database size",
@@ -444,7 +440,7 @@ func Scalability(sc Scale) (*Table, error) {
 
 // Ordering reproduces the 2007 paper's random-ordering optimization that
 // HDSampler exposes through its tuning parameters.
-func Ordering(sc Scale) (*Table, error) {
+func Ordering(ctx context.Context, sc Scale) (*Table, error) {
 	m := sc.pick(10, 14)
 	n := sc.pick(500, 2000)
 	k := 10

@@ -21,7 +21,7 @@ import (
 // then estimate), and Horvitz–Thompson weighting (use every candidate,
 // weighted by 1/reach) — the unbiased-estimation upgrade from the count-
 // leveraging line.
-func WeightedEstimation(sc Scale) (*Table, error) {
+func WeightedEstimation(ctx context.Context, sc Scale) (*Table, error) {
 	n := sc.pick(5000, 50000)
 	k := 1000
 	candidates := sc.pick(500, 1500)
@@ -29,7 +29,6 @@ func WeightedEstimation(sc Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	conn := history.New(formclient.NewLocal(db), history.Options{})
 	gen, err := core.NewWalker(ctx, conn, core.WalkerConfig{Seed: 102, Order: core.OrderShuffle})
 	if err != nil {

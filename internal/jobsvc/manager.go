@@ -240,6 +240,7 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		state:   StateQueued,
 		created: time.Now().UTC(),
 	}
+	//hdlint:ignore ctxflow a job outlives the submitting request; its lifetime is bounded by cancel via Stop/Close, not by any caller context
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 
 	m.mu.Lock()
@@ -412,6 +413,7 @@ func warmStartCache(dir, source string, cache *history.Cache, lg *slog.Logger) {
 			"path", path, "checkpoint_source", dump.Source)
 		return
 	}
+	//hdlint:ignore ctxflow warm-start runs during construction, before any request context exists; the timeout is its only bound
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	n, err := cache.Restore(ctx, dump.Snapshot())

@@ -9,5 +9,9 @@ func Analyzers() []*Analyzer {
 		HotPathAnalyzer,
 		AtomicMixAnalyzer,
 		ErrTransientAnalyzer,
+		LockOrderAnalyzer,
+		GoLeakAnalyzer,
+		CtxFlowAnalyzer,
+		ZeroCostAnalyzer,
 	}
 }

@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallKind classifies a call site by how its callee is bound.
+type CallKind int
+
+const (
+	// CallStatic is a direct call of a declared function or a method on a
+	// concrete receiver — the callee is known exactly.
+	CallStatic CallKind = iota
+	// CallInterface is a method call through an interface value; the
+	// callee is any implementation of the method among loaded packages.
+	CallInterface
+	// CallDynamic is a call through a function value (a func-typed
+	// variable, field, or method value); the callee is any address-taken
+	// function with an identical signature.
+	CallDynamic
+)
+
+// A CallSite is one call expression inside a node's body, classified and
+// annotated with whether it runs under a go or defer statement.
+type CallSite struct {
+	Kind CallKind
+	// Callee is the stable key of the exact callee for CallStatic, and of
+	// the interface method for CallInterface; empty for CallDynamic.
+	Callee string
+	// Method is the callee's object for CallInterface (needed to resolve
+	// implementations); nil otherwise.
+	Method *types.Func
+	// Sig is the call's signature for CallDynamic resolution.
+	Sig *types.Signature
+	Pos token.Pos
+	// Go and Defer mark call sites that are the operand of a go or defer
+	// statement; the goleak analyzer keys off Go sites.
+	Go    bool
+	Defer bool
+}
+
+// A CallNode is one declared function or method, with every call site in
+// its body. Calls made inside func literals declared in the body are
+// attributed to the enclosing declaration — a conservative flattening
+// that over-approximates "may call".
+type CallNode struct {
+	Key  string
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Unit *Package
+	// Calls lists the node's call sites in source order.
+	Calls []CallSite
+}
+
+// A CallGraph is the conservative static call graph over every analysis
+// unit of a run: exact edges for static calls, class-hierarchy edges for
+// interface dispatch, and signature-match edges for calls through
+// function values.
+type CallGraph struct {
+	// Nodes maps stable function keys to their nodes.
+	Nodes map[string]*CallNode
+
+	// addrTaken lists functions whose value escapes (assigned, passed, or
+	// returned rather than called) — the candidate callees of dynamic
+	// calls.
+	addrTaken map[string]*types.Func
+
+	// namedTypes is every named type declared across the units, the
+	// candidate receiver set for interface dispatch.
+	namedTypes []*types.Named
+
+	implCache map[implKey][]string
+}
+
+type implKey struct {
+	iface  *types.Interface
+	method string
+}
+
+// BuildCallGraph walks every unit once and assembles the graph.
+func BuildCallGraph(units []*Package) *CallGraph {
+	g := &CallGraph{
+		Nodes:     make(map[string]*CallNode),
+		addrTaken: make(map[string]*types.Func),
+		implCache: make(map[implKey][]string),
+	}
+	for _, u := range units {
+		g.collectNamedTypes(u)
+	}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				g.addNode(u, fd)
+			}
+		}
+	}
+	return g
+}
+
+func (g *CallGraph) collectNamedTypes(u *Package) {
+	scope := u.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if n, ok := tn.Type().(*types.Named); ok {
+			g.namedTypes = append(g.namedTypes, n)
+		}
+	}
+}
+
+// NodeFor returns the node of a declared function, or nil when fn was not
+// declared in any unit (stdlib, interface methods, locals).
+func (g *CallGraph) NodeFor(fn *types.Func) *CallNode {
+	key, ok := objectKey(fn)
+	if !ok {
+		return nil
+	}
+	return g.Nodes[key]
+}
+
+func (g *CallGraph) addNode(u *Package, fd *ast.FuncDecl) {
+	obj, _ := u.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	key, ok := objectKey(obj)
+	if !ok {
+		return
+	}
+	node := &CallNode{Key: key, Func: obj, Decl: fd, Unit: u}
+
+	// Which call expressions sit directly under go/defer statements.
+	goCalls := make(map[*ast.CallExpr]bool)
+	deferCalls := make(map[*ast.CallExpr]bool)
+	// Function positions that are call operands (not value uses).
+	callFun := make(map[ast.Expr]bool)
+	// Selector Sel idents are handled through their SelectorExpr; seeing
+	// them again as bare idents must not count as a value use.
+	selSel := make(map[*ast.Ident]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			goCalls[x.Call] = true
+		case *ast.DeferStmt:
+			deferCalls[x.Call] = true
+		case *ast.CallExpr:
+			callFun[unparen(x.Fun)] = true
+		case *ast.SelectorExpr:
+			selSel[x.Sel] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if site, ok := g.classify(u.Info, x); ok {
+				site.Go = goCalls[x]
+				site.Defer = deferCalls[x]
+				node.Calls = append(node.Calls, site)
+			}
+		case *ast.Ident:
+			// A function named outside call position escapes as a value.
+			if callFun[x] || selSel[x] {
+				return true
+			}
+			if fn, ok := u.Info.Uses[x].(*types.Func); ok {
+				g.markAddrTaken(fn)
+			}
+		case *ast.SelectorExpr:
+			if callFun[x] {
+				return true
+			}
+			if sel, ok := u.Info.Selections[x]; ok {
+				if sel.Kind() == types.MethodVal {
+					// A method value: x.M escapes; if the receiver is an
+					// interface, every implementation escapes with it.
+					m := sel.Obj().(*types.Func)
+					if types.IsInterface(sel.Recv()) {
+						for _, impl := range g.Implementations(m) {
+							if fn := g.addrCandidate(impl); fn != nil {
+								g.markAddrTaken(fn)
+							}
+						}
+					}
+					g.markAddrTaken(m)
+				}
+			} else if fn, ok := u.Info.Uses[x.Sel].(*types.Func); ok {
+				// Package-qualified function value: pkg.F escapes.
+				g.markAddrTaken(fn)
+			}
+		}
+		return true
+	})
+	g.Nodes[key] = node
+}
+
+func (g *CallGraph) markAddrTaken(fn *types.Func) {
+	if key, ok := objectKey(fn); ok {
+		g.addrTaken[key] = fn
+	}
+}
+
+func (g *CallGraph) addrCandidate(key string) *types.Func {
+	if n := g.Nodes[key]; n != nil {
+		return n.Func
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// classify resolves one call expression into a CallSite, or reports
+// ok=false for non-calls (conversions, builtins) and immediately-invoked
+// function literals (whose bodies are already attributed to the node).
+func (g *CallGraph) classify(info *types.Info, call *ast.CallExpr) (CallSite, bool) {
+	fun := unparen(call.Fun)
+	switch x := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[x].(type) {
+		case *types.Func:
+			if key, ok := objectKey(obj); ok {
+				return CallSite{Kind: CallStatic, Callee: key, Pos: call.Pos()}, true
+			}
+		case *types.Var:
+			if sig, ok := obj.Type().Underlying().(*types.Signature); ok {
+				return CallSite{Kind: CallDynamic, Sig: sig, Pos: call.Pos()}, true
+			}
+		}
+		return CallSite{}, false
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				m := sel.Obj().(*types.Func)
+				if types.IsInterface(sel.Recv()) {
+					key, _ := objectKey(m)
+					return CallSite{Kind: CallInterface, Callee: key, Method: m, Pos: call.Pos()}, true
+				}
+				if key, ok := objectKey(m); ok {
+					return CallSite{Kind: CallStatic, Callee: key, Pos: call.Pos()}, true
+				}
+			case types.FieldVal:
+				if sig, ok := sel.Type().Underlying().(*types.Signature); ok {
+					return CallSite{Kind: CallDynamic, Sig: sig, Pos: call.Pos()}, true
+				}
+			}
+			return CallSite{}, false
+		}
+		// Package-qualified pkg.F.
+		switch obj := info.Uses[x.Sel].(type) {
+		case *types.Func:
+			if key, ok := objectKey(obj); ok {
+				return CallSite{Kind: CallStatic, Callee: key, Pos: call.Pos()}, true
+			}
+		case *types.Var:
+			if sig, ok := obj.Type().Underlying().(*types.Signature); ok {
+				return CallSite{Kind: CallDynamic, Sig: sig, Pos: call.Pos()}, true
+			}
+		}
+	}
+	return CallSite{}, false
+}
+
+// Implementations resolves an interface method to the stable keys of
+// every method among the loaded named types whose type implements the
+// interface — class-hierarchy analysis over the units.
+func (g *CallGraph) Implementations(m *types.Func) []string {
+	iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	ck := implKey{iface, m.Name()}
+	if impls, ok := g.implCache[ck]; ok {
+		return impls
+	}
+	var impls []string
+	for _, n := range g.namedTypes {
+		if types.IsInterface(n) {
+			continue
+		}
+		var recv types.Type = n
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(n)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			if key, ok := objectKey(fn); ok {
+				impls = append(impls, key)
+			}
+		}
+	}
+	sort.Strings(impls)
+	g.implCache[ck] = impls
+	return impls
+}
+
+// DynamicCallees resolves a dynamic call site to every address-taken
+// function with an identical signature.
+func (g *CallGraph) DynamicCallees(sig *types.Signature) []string {
+	var out []string
+	for key, fn := range g.addrTaken {
+		fsig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		// Compare parameter/result shapes; receivers are not part of the
+		// value's type once the method is bound.
+		if types.Identical(types.NewSignatureType(nil, nil, nil, fsig.Params(), fsig.Results(), fsig.Variadic()),
+			types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())) {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// staticCallee resolves a call expression to the declared function or
+// concrete method it invokes, or nil for dynamic and interface calls —
+// the resolution analyzers use to look up a callee's facts.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch x := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[x].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if sel.Kind() != types.MethodVal || types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[x.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Callees resolves a site to the stable keys of its possible callees.
+func (g *CallGraph) Callees(site CallSite) []string {
+	switch site.Kind {
+	case CallStatic:
+		return []string{site.Callee}
+	case CallInterface:
+		return g.Implementations(site.Method)
+	case CallDynamic:
+		return g.DynamicCallees(site.Sig)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package lint_test
+
+import (
+	"sort"
+	"testing"
+
+	"hdsampler/internal/lint"
+)
+
+func siteTo(node *lint.CallNode, callee string) []lint.CallSite {
+	var out []lint.CallSite
+	for _, s := range node.Calls {
+		if s.Callee == callee {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestCallGraph(t *testing.T) {
+	units, _ := loadCorpus(t, "callgraph")
+	g := lint.BuildCallGraph(units)
+
+	node := func(key string) *lint.CallNode {
+		t.Helper()
+		n := g.Nodes[key]
+		if n == nil {
+			var have []string
+			for k := range g.Nodes {
+				have = append(have, k)
+			}
+			sort.Strings(have)
+			t.Fatalf("no node %s; have %v", key, have)
+		}
+		return n
+	}
+
+	// Static call.
+	direct := node("callgraph.direct")
+	if len(siteTo(direct, "callgraph.helper")) != 1 {
+		t.Errorf("direct: want one static call to helper, got %+v", direct.Calls)
+	}
+
+	// Interface dispatch resolves to both implementations, value and
+	// pointer receiver alike.
+	vi := node("callgraph.viaInterface")
+	var ifaceSite *lint.CallSite
+	for i := range vi.Calls {
+		if vi.Calls[i].Kind == lint.CallInterface {
+			ifaceSite = &vi.Calls[i]
+		}
+	}
+	if ifaceSite == nil {
+		t.Fatalf("viaInterface: no interface call site in %+v", vi.Calls)
+	}
+	callees := g.Callees(*ifaceSite)
+	want := []string{"(callgraph.Cat).Speak", "(callgraph.Dog).Speak"}
+	if len(callees) != 2 || callees[0] != want[0] || callees[1] != want[1] {
+		t.Errorf("interface callees = %v, want %v", callees, want)
+	}
+
+	// go and defer sites are marked.
+	spawn := node("callgraph.spawn")
+	sites := siteTo(spawn, "callgraph.helper")
+	if len(sites) != 2 {
+		t.Fatalf("spawn: want 2 sites to helper, got %+v", spawn.Calls)
+	}
+	goSeen, deferSeen := false, false
+	for _, s := range sites {
+		if s.Go {
+			goSeen = true
+		}
+		if s.Defer {
+			deferSeen = true
+		}
+	}
+	if !goSeen || !deferSeen {
+		t.Errorf("spawn: go=%v defer=%v, want both true", goSeen, deferSeen)
+	}
+
+	// The method value in methodValue makes Dog.Speak address-taken, so
+	// the dynamic call in dynamic() resolves to exactly it (Cat.Speak
+	// never escapes as a value).
+	dyn := node("callgraph.dynamic")
+	var dynSite *lint.CallSite
+	for i := range dyn.Calls {
+		if dyn.Calls[i].Kind == lint.CallDynamic {
+			dynSite = &dyn.Calls[i]
+		}
+	}
+	if dynSite == nil {
+		t.Fatalf("dynamic: no dynamic call site in %+v", dyn.Calls)
+	}
+	dc := g.Callees(*dynSite)
+	if len(dc) != 1 || dc[0] != "(callgraph.Dog).Speak" {
+		t.Errorf("dynamic callees = %v, want [(callgraph.Dog).Speak]", dc)
+	}
+
+	// Func-literal bodies are flattened into the enclosing declaration.
+	lits := node("callgraph.literals")
+	if len(siteTo(lits, "callgraph.helper")) != 1 {
+		t.Errorf("literals: want the literal's helper call attributed to literals, got %+v", lits.Calls)
+	}
+}

@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Block is one straight-line run of statements in a function's
+// control-flow graph. Control statements (if/for/switch/select) appear as
+// the last entry of the block that evaluates their condition; their
+// bodies live in successor blocks.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []*Block
+}
+
+// A LoopInfo locates a loop's body entry and its fall-through block in
+// the CFG, for reachability queries.
+type LoopInfo struct {
+	Body  *Block
+	After *Block
+}
+
+// A CFG is a lightweight intra-function control-flow graph at statement
+// granularity. It models if/for/range/switch/select/branch/return flow,
+// treats `select {}` and calls that never return (panic, os.Exit,
+// runtime.Goexit, log.Fatal*) as terminators, and gives infinite `for`
+// loops no fall-through edge — so "can control leave this loop" is a
+// plain reachability question. Function literals are opaque: their
+// bodies get their own CFGs and never leak edges into the enclosing one.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Loops maps each for/range statement to its body and after blocks.
+	Loops map[ast.Stmt]*LoopInfo
+}
+
+type cfgBuilder struct {
+	cfg  *CFG
+	info *types.Info
+	cur  *Block // nil when the current point is unreachable
+
+	// blocking, when set, marks statement-level calls that never return
+	// AND never terminate (a call into a known-forever-blocking function):
+	// the path is cut without an edge to Exit, unlike panic/os.Exit which
+	// do end the goroutine.
+	blocking func(*ast.CallExpr) bool
+
+	breakTargets    []*Block
+	continueTargets []*Block
+	labelBreak      map[string]*Block
+	labelContinue   map[string]*Block
+	pendingLabel    string
+}
+
+// BuildCFG constructs the CFG of one function body. info may be nil; it
+// is used only to sharpen never-returns call detection.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	return buildCFGBlocking(body, info, nil)
+}
+
+// buildCFGBlocking is BuildCFG with an extra predicate marking calls that
+// block forever — the goleak propagation step rebuilds CFGs with the
+// current known-blocking set to decide whether callers block too.
+func buildCFGBlocking(body *ast.BlockStmt, info *types.Info, blocking func(*ast.CallExpr) bool) *CFG {
+	cfg := &CFG{Loops: make(map[ast.Stmt]*LoopInfo)}
+	b := &cfgBuilder{
+		cfg:           cfg,
+		info:          info,
+		blocking:      blocking,
+		labelBreak:    make(map[string]*Block),
+		labelContinue: make(map[string]*Block),
+	}
+	cfg.Entry = b.newBlock()
+	cfg.Exit = &Block{Index: -1}
+	b.cur = cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, cfg.Exit)
+	return cfg
+}
+
+// Escapes reports whether control can leave the given loop: its after
+// block or the function exit is reachable from the loop body. A `for`
+// with no condition and no reachable break/return/goto/terminating call
+// does not escape — the goleak signal.
+func (c *CFG) Escapes(loop ast.Stmt) bool {
+	li := c.Loops[loop]
+	if li == nil {
+		return true // not a loop we modeled; stay conservative
+	}
+	seen := make(map[*Block]bool)
+	var dfs func(*Block) bool
+	dfs = func(b *Block) bool {
+		if b == li.After || b == c.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(li.Body)
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(s ast.Stmt) {
+	if b.cur != nil {
+		b.cur.Stmts = append(b.cur.Stmts, s)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		b.branch(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Stmts = append(head.Stmts, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			// A conditional loop can fall through; `for {}` cannot.
+			b.edge(head, after)
+		}
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock()
+			post.Stmts = append(post.Stmts, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.cfg.Loops[s] = &LoopInfo{Body: body, After: after}
+		b.pushLoop(after, cont, label)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, cont)
+		b.popLoop(label)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Stmts = append(head.Stmts, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		// Ranges terminate: collections are finite, channel ranges end at
+		// close. The close discipline itself is the spawner's contract.
+		b.edge(head, after)
+		b.cfg.Loops[s] = &LoopInfo{Body: body, After: after}
+		b.pushLoop(after, head, label)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.popLoop(label)
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		b.add(s)
+		if len(s.Body.List) == 0 {
+			// select {} blocks forever.
+			b.cur = nil
+			return
+		}
+		cond := b.cur
+		after := b.newBlock()
+		b.breakTargets = append(b.breakTargets, after)
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			caseB := b.newBlock()
+			if comm.Comm != nil {
+				caseB.Stmts = append(caseB.Stmts, comm.Comm)
+			}
+			b.edge(cond, caseB)
+			b.cur = caseB
+			b.stmtList(comm.Body)
+			b.edge(b.cur, after)
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.cur = after
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.DeclStmt, *ast.AssignStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if b.neverReturns(call) {
+				b.edge(b.cur, b.cfg.Exit)
+				b.cur = nil
+			} else if b.blocking != nil && b.blocking(call) {
+				// The call neither returns nor terminates; no Exit edge.
+				b.cur = nil
+			}
+		}
+
+	default:
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	var init ast.Stmt
+	var clauses []ast.Stmt
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		init = x.Init
+		clauses = x.Body.List
+	case *ast.TypeSwitchStmt:
+		init = x.Init
+		clauses = x.Body.List
+	}
+	if init != nil {
+		b.stmt(init)
+	}
+	b.add(s)
+	cond := b.cur
+	after := b.newBlock()
+	if label != "" {
+		b.labelBreak[label] = after
+		defer delete(b.labelBreak, label)
+	}
+	b.breakTargets = append(b.breakTargets, after)
+	// Build case entry blocks first so fallthrough can target the next.
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.edge(cond, caseBlocks[i])
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(cond, after)
+	}
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = caseBlocks[i]
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				if i+1 < len(caseBlocks) {
+					b.edge(b.cur, caseBlocks[i+1])
+				}
+				b.cur = nil
+				continue
+			}
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block, label string) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelContinue[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+		delete(b.labelContinue, label)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		var t *Block
+		if s.Label != nil {
+			t = b.labelBreak[s.Label.Name]
+		} else if n := len(b.breakTargets); n > 0 {
+			t = b.breakTargets[n-1]
+		}
+		b.edge(b.cur, t)
+	case "continue":
+		var t *Block
+		if s.Label != nil {
+			t = b.labelContinue[s.Label.Name]
+		} else if n := len(b.continueTargets); n > 0 {
+			t = b.continueTargets[n-1]
+		}
+		b.edge(b.cur, t)
+	case "goto":
+		// Rare enough not to model; count it as leaving the current
+		// region so goto-based loop exits never produce false leaks.
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	b.cur = nil
+}
+
+// neverReturns recognizes calls that terminate the goroutine or process:
+// panic, os.Exit, runtime.Goexit, and the log.Fatal family.
+func (b *cfgBuilder) neverReturns(call *ast.CallExpr) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if b.info == nil {
+				return true
+			}
+			_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pkg := id.Name
+		if b.info != nil {
+			pn, ok := b.info.Uses[id].(*types.PkgName)
+			if !ok {
+				return false
+			}
+			pkg = pn.Imported().Path()
+		}
+		name := fun.Sel.Name
+		switch pkg {
+		case "os":
+			return name == "Exit"
+		case "runtime":
+			return name == "Goexit"
+		case "log":
+			return name == "Fatal" || name == "Fatalf" || name == "Fatalln"
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"hdsampler/internal/lint"
+)
+
+// buildFunc parses one function body and returns its CFG plus the first
+// for/range loop statement, if any.
+func buildFunc(t *testing.T, body string) (*lint.CFG, ast.Stmt) {
+	t.Helper()
+	src := "package p\nfunc f(x bool, n int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	cfg := lint.BuildCFG(fd.Body, nil)
+	var loop ast.Stmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if loop != nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loop = n.(ast.Stmt)
+			return false
+		}
+		return true
+	})
+	return cfg, loop
+}
+
+func reachesExit(cfg *lint.CFG) bool {
+	seen := make(map[*lint.Block]bool)
+	var dfs func(*lint.Block) bool
+	dfs = func(b *lint.Block) bool {
+		if b == cfg.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(cfg.Entry)
+}
+
+func TestCFGEscapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		escapes bool
+	}{
+		{"infinite", "for {\n}", false},
+		{"conditional", "for x {\n}", true},
+		{"bounded", "for i := 0; i < n; i++ {\n}", true},
+		{"break", "for {\nif x {\nbreak\n}\n}", true},
+		{"return", "for {\nif x {\nreturn\n}\n}", true},
+		{"continueOnly", "for {\nif x {\ncontinue\n}\n}", false},
+		{"range", "for v := range ch {\n_ = v\n}", true},
+		{"labeledBreak", "outer:\nfor {\nfor {\nbreak outer\n}\n}", true},
+		{"goto", "for {\nif x {\ngoto out\n}\n}\nout:\nreturn", true},
+		{"panicExit", "for {\nif x {\npanic(1)\n}\n}", true},
+		{"selectDone", "for {\nselect {\ncase <-ch:\nreturn\n}\n}", true},
+		{"selectNoExit", "for {\nselect {\ncase v := <-ch:\n_ = v\n}\n}", false},
+		{"breakInSwitch", "for {\nswitch {\ncase x:\nbreak\n}\n}", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, loop := buildFunc(t, tc.body)
+			if loop == nil {
+				t.Fatal("no loop found")
+			}
+			if got := cfg.Escapes(loop); got != tc.escapes {
+				t.Errorf("Escapes = %v, want %v", got, tc.escapes)
+			}
+		})
+	}
+}
+
+func TestCFGExitReachability(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		reaches bool
+	}{
+		{"plain", "_ = x", true},
+		{"emptySelect", "select {}", false},
+		{"infiniteLoop", "for {\n}", false},
+		{"panicOnly", "panic(1)", true}, // the goroutine dies: that is termination
+		{"osExitLike", "for {\nif x {\npanic(1)\n}\n}", true},
+		{"loopThenCode", "for {\n}\n_ = x", false},
+		{"switchDefaultless", "switch {\ncase x:\n_ = x\n}", true},
+		{"fallthroughCase", "switch {\ncase x:\nfallthrough\ndefault:\n_ = x\n}", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, _ := buildFunc(t, tc.body)
+			if got := reachesExit(cfg); got != tc.reaches {
+				t.Errorf("exit reachable = %v, want %v", got, tc.reaches)
+			}
+		})
+	}
+}

@@ -1,14 +1,46 @@
 // Package lint implements hdlint, the repository's custom static-analysis
-// suite: five analyzers that turn invariants the codebase otherwise states
+// suite: nine analyzers that turn invariants the codebase otherwise states
 // only in comments into build failures. Run it with
 //
 //	go run ./cmd/hdlint ./...
 //
 // (CI runs exactly that as a blocking job). The framework mirrors the
-// shape of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic —
-// but is built purely on the standard library (go/ast, go/types, go/build,
-// go/importer's source importer), preserving the module's zero-dependency,
-// fully-offline build.
+// shape of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic,
+// typed facts — but is built purely on the standard library (go/ast,
+// go/types, go/build, go/importer's source importer), preserving the
+// module's zero-dependency, fully-offline build.
+//
+// # The interprocedural engine
+//
+// Four of the analyzers reason across function and package boundaries.
+// Three pieces make that possible:
+//
+// Facts. An analyzer attaches typed facts to functions and package-level
+// objects (ExportObjectFact / ImportObjectFact, mirroring go/analysis).
+// Fact keys are stable across packages — a method's key is the same
+// whether its package is being analyzed directly or was loaded as a
+// dependency — so a property proved about queryexec.Executor.execute is
+// visible when analyzing cmd/hdbench. The loader pulls in-module
+// dependencies of the requested packages as silent "facts-only" units:
+// their facts flow, their findings are dropped, and each package is
+// analyzed exactly once no matter how many ways it is reached.
+//
+// Call graph. BuildCallGraph records every call site in every unit,
+// classified as static (direct call or concrete method), interface
+// (virtual call, resolved to all implementing methods via class-hierarchy
+// analysis over the loaded types), or dynamic (through a function value,
+// resolved to address-taken functions of matching signature). Sites
+// launched by go or defer carry flags so analyzers can treat them
+// specially.
+//
+// CFG. BuildCFG builds a statement-level control-flow graph of one
+// function body — enough to answer reachability questions: can this loop
+// be escaped, can the function's exit be reached, does this path
+// terminate. Calls known to never return (panic, os.Exit,
+// runtime.Goexit, log.Fatal*) cut edges to the exit; an analyzer can
+// also supply its own "this call blocks forever" predicate and re-ask
+// the reachability question, which is how goleak propagates
+// non-termination through call chains.
 //
 // # The analyzers
 //
@@ -48,6 +80,48 @@
 // the moment any layer wraps them; the tree wraps its sentinels
 // routinely, so the only correct comparison is errors.Is.
 //
+// lockorder — builds the global lock-acquisition graph: each function
+// exports which locks it acquires, which locks it acquires while holding
+// others, and which calls it makes under a held lock. Locks are
+// identified structurally ("pkg.Type.field" for a mutex field, "pkg.var"
+// for a package-level mutex), collapsing instances — two *Store values
+// share an identity, which is exactly the granularity at which a
+// consistent acquisition order must hold. After all packages run, held
+// sets propagate through the call graph (static and interface edges;
+// go/defer launches start fresh) and any cycle in the resulting
+// order-graph — including the self-loop of reacquiring a lock already
+// held — is reported at the edge that closes it.
+//
+// goleak — every go statement must start a goroutine that can terminate.
+// A function whose CFG cannot reach its exit (for {} without break,
+// select{}, an unconditional path into such a call) exports a
+// never-terminates fact; the check then treats calls to such functions
+// as blocking and recomputes, so the property propagates through
+// wrappers. Goroutines that wait on ctx.Done(), range over a channel
+// someone closes, or loop a bounded number of times all pass; the pump
+// that deliberately lives for the process lifetime documents itself with
+// an ignore.
+//
+// ctxflow — context.Background() and context.TODO() are banned outside
+// package main, init functions, and test files: everywhere else the
+// context must be accepted from the caller, so cancellation and
+// deadlines reach the wire. Functions that return a fresh root context
+// export a fact, so laundering Background() through a helper moves the
+// finding to the helper's callers instead of hiding it. Holding a ctx
+// parameter and minting a fresh root anyway is flagged at any depth.
+// Detachment points that are correct by design (a job outliving its
+// submitting request) say so with an ignore and a reason.
+//
+// zerocost — telemetry in //hdlint:hotpath code is only free when off if
+// the call itself is skipped: the contract is "if tr != nil {
+// tr.Mark...(...) }", not a nil-safe no-op call (the call, its argument
+// evaluation, and its inlining cost remain). The analyzer tracks which
+// expressions are nil-guarded (wrapped body, early return, guarded
+// redeclaration, && conjunctions) and flags unguarded instrument calls in
+// hot paths. Helpers that call telemetry on a parameter unguarded export
+// a fact naming the parameter, so passing a trace to such a helper from
+// a hot path is flagged at the call site — transitively.
+//
 // # Annotations
 //
 // Two markers opt code in:
@@ -62,15 +136,21 @@
 // which suppresses the named analyzers' findings on its own line and the
 // line directly below. The reason is mandatory, and malformed directives
 // (missing analyzer, unknown analyzer, missing reason) are themselves
-// reported — a typo cannot silently disable a check. Suppressions double
-// as documentation: every intentional allocation on a hot path states its
-// budget at the allocation site.
+// reported — a typo cannot silently disable a check. Directive names are
+// checked against the full analyzer registry, so an ignore for an
+// analyzer not selected by -only stays valid. Suppressions double as
+// documentation: every intentional allocation on a hot path states its
+// budget at the allocation site, and every deliberate context detachment
+// states why the new root is sound.
 //
 // # Testing
 //
 // Each analyzer has a corpus under testdata/src/<name> with flagging,
 // non-flagging and suppressed cases, checked by the linttest harness
-// against analysistest-style "// want" comments. Corpora are loaded
-// GOPATH-style, so the resultimmut corpus imports a miniature stub
-// "hiddendb" package rather than the real one.
+// against analysistest-style "// want" comments. The interprocedural
+// analyzers' corpora span multiple packages (e.g. lockorder's lockdep,
+// ctxflow's ctxroot) so fact export and import cross a real package
+// boundary in tests. Corpora are loaded GOPATH-style, so the resultimmut
+// corpus imports a miniature stub "hiddendb" package rather than the
+// real one, and zerocost matches instruments against a stub "telemetry".
 package lint

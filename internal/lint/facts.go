@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a typed datum an analyzer attaches to an object or a package
+// during one unit's pass and reads back while analyzing a later unit —
+// the cross-package channel that makes interprocedural checks possible.
+// Facts follow the shape of golang.org/x/tools/go/analysis facts, but
+// because every package in a run is loaded in-process by the same
+// source-importer loader, "export" is a write into the run's shared store
+// rather than a serialization step.
+//
+// A fact type must be a pointer to a struct and is identified by its
+// dynamic type: one analyzer may attach at most one fact of each type to
+// each object.
+type Fact interface {
+	// AFact marks the type as a fact; it has no behavior.
+	AFact()
+}
+
+// An ObjectFact pairs an exported fact with the stable key of the object
+// carrying it, for AllObjectFacts enumeration.
+type ObjectFact struct {
+	// Key is the object's stable identity (see objectKey).
+	Key  string
+	Fact Fact
+}
+
+// factStore is the run-wide fact table, shared by every Pass of a run.
+// Keys combine the analyzer, the object's stable identity, and the fact's
+// dynamic type, so analyzers cannot observe each other's facts.
+type factStore struct {
+	objects  map[factKey]Fact
+	packages map[factKey]Fact
+}
+
+type factKey struct {
+	analyzer string
+	key      string // object stable key, or package path
+	typ      reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		objects:  make(map[factKey]Fact),
+		packages: make(map[factKey]Fact),
+	}
+}
+
+// objectKey derives a stable identity for obj that survives the same
+// package being type-checked more than once (a package is re-checked when
+// it is both an analysis unit and an import of another unit, and the two
+// checks produce distinct types.Object instances). Functions use
+// types.Func.FullName with the pointer stripped from the receiver, so
+// (*T).M and (T).M from different check instances collapse to one key;
+// package-level vars, types and consts use path.Name.
+//
+// Objects without a package (builtins, the universe scope) and locals
+// have no stable identity; objectKey returns ok=false for them.
+func objectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		// FullName yields "path.F" for functions and "(path.T).M" or
+		// "(*path.T).M" for methods; canonicalize the receiver's pointer.
+		name := o.FullName()
+		name = strings.ReplaceAll(name, "(*", "(")
+		return name, true
+	case *types.TypeName, *types.Const:
+		return obj.Pkg().Path() + "." + obj.Name(), true
+	case *types.Var:
+		if o.IsField() {
+			// A field's owner is not recoverable from the object alone;
+			// analyzers key fields through their owning named type
+			// explicitly (see lockKey in lockorder.go).
+			return "", false
+		}
+		// Package-level var only; locals have no stable identity.
+		if o.Parent() != obj.Pkg().Scope() {
+			return "", false
+		}
+		return obj.Pkg().Path() + "." + obj.Name(), true
+	}
+	return "", false
+}
+
+func factType(f Fact) reflect.Type {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("lint: fact %T must be a pointer to a struct", f))
+	}
+	return t
+}
+
+// ExportObjectFact attaches fact to obj for later units of this run.
+// Objects without a stable identity (locals, builtins) are silently
+// skipped: no later unit could name them anyway.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	key, ok := objectKey(obj)
+	if !ok {
+		return
+	}
+	p.run.facts.objects[factKey{p.Analyzer.Name, key, factType(fact)}] = fact
+}
+
+// ImportObjectFact copies the fact of ptr's type previously exported for
+// obj (possibly by a pass over another package) into *ptr, reporting
+// whether one was found. ptr must be a pointer to a struct fact type.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	key, ok := objectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.run.importObjectFact(p.Analyzer.Name, key, ptr)
+}
+
+// ImportObjectFactByKey is ImportObjectFact for callers holding a stable
+// key rather than a live types.Object — the Finish phase works on keys.
+func (p *Pass) ImportObjectFactByKey(key string, ptr Fact) bool {
+	return p.run.importObjectFact(p.Analyzer.Name, key, ptr)
+}
+
+// ExportPackageFact attaches fact to the unit's package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.run.facts.packages[factKey{p.Analyzer.Name, p.Pkg.Path(), factType(fact)}] = fact
+}
+
+// ImportPackageFact copies the fact of ptr's type exported for the
+// package with the given import path into *ptr.
+func (p *Pass) ImportPackageFact(path string, ptr Fact) bool {
+	f, ok := p.run.facts.packages[factKey{p.Analyzer.Name, path, factType(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// AllObjectFacts returns every object fact this analyzer has exported so
+// far, sorted by object key — the Finish phase's view of the whole run.
+func (p *Pass) AllObjectFacts(example Fact) []ObjectFact {
+	return p.run.allObjectFacts(p.Analyzer.Name, example)
+}
+
+func (r *RunInfo) importObjectFact(analyzer, key string, ptr Fact) bool {
+	f, ok := r.facts.objects[factKey{analyzer, key, factType(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+func (r *RunInfo) allObjectFacts(analyzer string, example Fact) []ObjectFact {
+	typ := factType(example)
+	var out []ObjectFact
+	for k, f := range r.facts.objects {
+		if k.analyzer == analyzer && k.typ == typ {
+			out = append(out, ObjectFact{Key: k.key, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,142 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"hdsampler/internal/lint"
+)
+
+// nameFact records the declared name of a function.
+type nameFact struct{ Name string }
+
+func (*nameFact) AFact() {}
+
+// pkgFact records which package exported it.
+type pkgFact struct{ From string }
+
+func (*pkgFact) AFact() {}
+
+func loadCorpus(t *testing.T, pkgs ...string) ([]*lint.Package, *lint.Loader) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(lint.Root{Prefix: "", Dir: srcRoot})
+	var units []*lint.Package
+	for _, pkg := range pkgs {
+		us, err := loader.LoadDir(pkg, filepath.Join(srcRoot, pkg))
+		if err != nil {
+			t.Fatalf("load corpus %s: %v", pkg, err)
+		}
+		units = append(units, us...)
+	}
+	return units, loader
+}
+
+// TestFactRoundTrip exports per-function facts while analyzing factdep
+// and imports them while analyzing factuse — whose view of factdep's
+// objects comes from a separate type-check, so the round trip proves the
+// stable-key scheme, including (*T).M / (T).M receiver normalization.
+func TestFactRoundTrip(t *testing.T) {
+	units, loader := loadCorpus(t, "factdep", "factuse")
+
+	imported := make(map[string]string) // callee name -> fact payload
+	var allKeys []string
+	havePkgFact := false
+
+	a := &lint.Analyzer{
+		Name: "facttest",
+		Run: func(p *lint.Pass) {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						p.ExportObjectFact(obj, &nameFact{Name: fd.Name.Name})
+					}
+				}
+			}
+			if p.Pkg.Name() == "factdep" {
+				p.ExportPackageFact(&pkgFact{From: "factdep"})
+			}
+			if p.Pkg.Name() != "factuse" {
+				return
+			}
+			var pf pkgFact
+			havePkgFact = p.ImportPackageFact("factdep", &pf) && pf.From == "factdep"
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					var obj types.Object
+					switch fun := call.Fun.(type) {
+					case *ast.SelectorExpr:
+						if sel, ok := p.Info.Selections[fun]; ok {
+							obj = sel.Obj()
+						} else {
+							obj = p.Info.Uses[fun.Sel]
+						}
+					case *ast.Ident:
+						obj = p.Info.Uses[fun]
+					}
+					if obj == nil {
+						return true
+					}
+					var got nameFact
+					if p.ImportObjectFact(obj, &got) {
+						imported[obj.Name()] = got.Name
+						// The import must be a copy: mutating it must not
+						// poison the store for the next importer.
+						got.Name = "mutated"
+						var again nameFact
+						p.ImportObjectFact(obj, &again)
+						imported[obj.Name()+"-again"] = again.Name
+					}
+					return true
+				})
+			}
+		},
+		Finish: func(fin *lint.Finish) {
+			for _, of := range fin.AllObjectFacts(&nameFact{}) {
+				allKeys = append(allKeys, of.Key)
+			}
+		},
+	}
+
+	diags := lint.Run(units, loader.Fset, []*lint.Analyzer{a})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if imported["Alpha"] != "Alpha" {
+		t.Errorf("cross-package function fact: got %q, want Alpha", imported["Alpha"])
+	}
+	if imported["Method"] != "Method" {
+		t.Errorf("cross-package method fact (pointer-receiver key): got %q, want Method", imported["Method"])
+	}
+	if !havePkgFact {
+		t.Error("package fact did not round-trip from factdep to factuse")
+	}
+	want := map[string]bool{
+		"factdep.Alpha":      true,
+		"factdep.Beta":       true,
+		"(factdep.T).Method": true,
+		"factuse.Caller":     true,
+	}
+	for _, k := range allKeys {
+		delete(want, k)
+	}
+	for k := range want {
+		t.Errorf("AllObjectFacts missing key %s (got %v)", k, allKeys)
+	}
+	if imported["Alpha-again"] != "Alpha" {
+		t.Errorf("imported fact aliases the stored fact: re-import saw %q", imported["Alpha-again"])
+	}
+}

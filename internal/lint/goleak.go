@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeakAnalyzer demands a provable termination path for every goroutine:
+// a `go` statement may only start work that can reach its return —
+// through a select case on ctx.Done or a closed channel, a
+// range-over-channel (which ends at close), a bounded loop, or a plain
+// fall-through. Per function it asks the CFG whether the exit is
+// reachable at all (infinite `for` loops without a reachable break and
+// `select {}` cut the path); functions whose exit is unreachable export a
+// fact, and the Finish phase closes the property over synchronous static
+// calls — a wrapper whose body ends in a call to a never-terminating
+// function never terminates either, across package boundaries. Each `go`
+// site is then judged against the final set: named callees by their
+// facts, function literals by their own CFG with known-blocking calls
+// treated as path cuts.
+//
+// Long-running workers are not exempt: a worker loop with no ctx.Done (or
+// equivalent) case is exactly the leak this catches — shutdown can never
+// collect it. A deliberately immortal goroutine takes an //hdlint:ignore
+// goleak with the reason it may outlive everything.
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc: "every go statement needs a provable termination path (ctx.Done select, " +
+		"closed-channel range, bounded loop); never-terminating callees propagate via facts",
+	Run:    runGoLeak,
+	Finish: finishGoLeak,
+}
+
+// GoleakBlocksFact marks a function whose body can never reach its exit.
+type GoleakBlocksFact struct {
+	Reason string
+	Pos    token.Position
+}
+
+// AFact marks GoleakBlocksFact as a fact.
+func (*GoleakBlocksFact) AFact() {}
+
+type goleakSite struct {
+	unit *Package
+	call *ast.CallExpr
+	pos  token.Position
+}
+
+type goleakState struct {
+	sites []goleakSite
+}
+
+func runGoLeak(pass *Pass) {
+	st := pass.State(func() any { return &goleakState{} }).(*goleakState)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj != nil {
+				cfg := BuildCFG(fd.Body, pass.Info)
+				if !exitReachable(cfg) {
+					pass.ExportObjectFact(obj, &GoleakBlocksFact{
+						Reason: blockReason(cfg, fd.Body),
+						Pos:    pass.Fset.Position(fd.Pos()),
+					})
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					st.sites = append(st.sites, goleakSite{
+						unit: pass.Unit,
+						call: g.Call,
+						pos:  pass.Fset.Position(g.Pos()),
+					})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// exitReachable reports whether any path from Entry reaches Exit.
+func exitReachable(cfg *CFG) bool {
+	seen := make(map[*Block]bool)
+	var dfs func(*Block) bool
+	dfs = func(b *Block) bool {
+		if b == cfg.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(cfg.Entry)
+}
+
+// blockReason names the construct that traps control, for the report.
+func blockReason(cfg *CFG, body *ast.BlockStmt) string {
+	reason := "a body that cannot reach return"
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if x.Cond == nil && !cfg.Escapes(x) {
+				reason = "an infinite for-loop with no reachable exit"
+				return false
+			}
+		case *ast.SelectStmt:
+			if len(x.Body.List) == 0 {
+				reason = "an empty select"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+func finishGoLeak(fin *Finish) {
+	st := fin.State(func() any { return &goleakState{} }).(*goleakState)
+	g := fin.Run.Graph
+
+	// The blocking set, seeded from per-function facts.
+	blocks := make(map[string]*GoleakBlocksFact)
+	for _, of := range fin.AllObjectFacts(&GoleakBlocksFact{}) {
+		blocks[of.Key] = of.Fact.(*GoleakBlocksFact)
+	}
+
+	// blockingCall reports statement-level calls into the current blocking
+	// set; go/defer operands are never statement-level ExprStmt calls here
+	// because buildCFGBlocking only consults ExprStmt.
+	blockingCall := func(info *types.Info) func(*ast.CallExpr) bool {
+		return func(call *ast.CallExpr) bool {
+			site, ok := g.classify(info, call)
+			if !ok {
+				return false
+			}
+			callees := g.Callees(site)
+			if len(callees) == 0 {
+				return false
+			}
+			for _, c := range callees {
+				if blocks[c] == nil {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// Close over synchronous calls: a function whose every path runs into
+	// a blocking callee blocks too.
+	for changed := true; changed; {
+		changed = false
+		for key, node := range g.Nodes {
+			if blocks[key] != nil || node.Decl.Body == nil {
+				continue
+			}
+			cfg := buildCFGBlocking(node.Decl.Body, node.Unit.Info, blockingCall(node.Unit.Info))
+			if !exitReachable(cfg) {
+				blocks[key] = &GoleakBlocksFact{
+					Reason: "a call chain that never terminates on any path",
+					Pos:    fin.Run.Fset.Position(node.Decl.Pos()),
+				}
+				changed = true
+			}
+		}
+	}
+
+	for _, site := range st.sites {
+		if lit, ok := unparen(site.call.Fun).(*ast.FuncLit); ok {
+			cfg := buildCFGBlocking(lit.Body, site.unit.Info, blockingCall(site.unit.Info))
+			if !exitReachable(cfg) {
+				fin.ReportAt(site.pos,
+					"goroutine never terminates: %s — give it an exit path (ctx.Done() select case, closed-channel range, or bounded loop)",
+					blockReason(cfg, lit.Body))
+			}
+			continue
+		}
+		cs, ok := g.classify(site.unit.Info, site.call)
+		if !ok {
+			continue
+		}
+		callees := g.Callees(cs)
+		if len(callees) == 0 {
+			continue
+		}
+		all := true
+		for _, c := range callees {
+			if blocks[c] == nil {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		first := blocks[callees[0]]
+		fin.ReportAt(site.pos,
+			"goroutine never terminates: %s contains %s (declared at %s) — give it an exit path (ctx.Done() select case, closed-channel range, or bounded loop)",
+			shortLock(callees[0]), first.Reason, first.Pos)
+	}
+}

@@ -1,0 +1,531 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer builds the program's global lock-acquisition graph
+// and flags cycles — the cross-package deadlock class. Per function it
+// runs a CFG-based dataflow computing which mutexes are held at each
+// point (a mutex is identified by its declaration site: owning type plus
+// field, or package-level variable, so every instance of shard.mu is one
+// node); it records direct nested acquisitions and every call made with
+// locks held, exporting both as facts. The Finish phase closes "may
+// acquire" over the static call graph (interface calls resolve to every
+// implementation) and reports each acquisition edge that participates in
+// a cycle.
+//
+// Approximations, chosen to stay conservative for deadlock detection:
+// held-sets merge by union at control-flow joins; TryLock counts as an
+// acquisition; function literals' bodies are not tracked (their calls
+// still contribute to "may acquire" through the call graph); calls under
+// go and defer are excluded from held-at-call edges because they do not
+// run synchronously under the caller's locks. A reacquisition of the
+// same lock identity is a self-cycle: either a real self-deadlock or two
+// instances (shards) whose ordering discipline must be stated with an
+// //hdlint:ignore reason.
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "builds the global sync.Mutex/RWMutex acquisition graph across packages " +
+		"(via facts) and flags lock-order cycles, the static deadlock class",
+	Run:    runLockOrder,
+	Finish: finishLockOrder,
+}
+
+// A LockSite is one acquisition of a lock identity.
+type LockSite struct {
+	Lock string
+	Pos  token.Position
+}
+
+// A LockEdge is a "held before" pair observed directly in one function.
+type LockEdge struct {
+	From, To string
+	Pos      token.Position
+}
+
+// A LockCallHold is a call made while locks are held; Callees are the
+// resolved static/interface callee keys.
+type LockCallHold struct {
+	Callees []string
+	Held    []string
+	Pos     token.Position
+}
+
+// LockOrderFact is the per-function summary exported for cross-package
+// assembly: what the function acquires, which acquisitions nest
+// directly, and which callees run under held locks.
+type LockOrderFact struct {
+	Acquires []LockSite
+	Nested   []LockEdge
+	Calls    []LockCallHold
+}
+
+// AFact marks LockOrderFact as a fact.
+func (*LockOrderFact) AFact() {}
+
+func runLockOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fact := lockScanFunc(pass, fd)
+			if fact != nil {
+				pass.ExportObjectFact(obj, fact)
+			}
+		}
+	}
+}
+
+// lockScanFunc runs the held-set dataflow over one function and returns
+// its fact, or nil when the function touches no locks and makes no calls
+// under them.
+func lockScanFunc(pass *Pass, fd *ast.FuncDecl) *LockOrderFact {
+	// Cheap pre-check: any mutex method call at all?
+	touches := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if touches {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, _, ok := lockOp(pass.Info, call); ok && op != lockNone {
+				touches = true
+			}
+		}
+		return true
+	})
+	if !touches {
+		return nil
+	}
+
+	cfg := BuildCFG(fd.Body, pass.Info)
+	// Iterate to fixpoint: in[b] = union of predecessors' out.
+	in := make(map[*Block]map[string]bool)
+	out := make(map[*Block]map[string]bool)
+	preds := make(map[*Block][]*Block)
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			ib := make(map[string]bool)
+			for _, p := range preds[b] {
+				for l := range out[p] {
+					ib[l] = true
+				}
+			}
+			ob := replayBlock(pass, b, ib, nil)
+			if !sameSet(in[b], ib) || !sameSet(out[b], ob) {
+				in[b], out[b] = ib, ob
+				changed = true
+			}
+		}
+	}
+	fact := &LockOrderFact{}
+	for _, b := range cfg.Blocks {
+		replayBlock(pass, b, in[b], fact)
+	}
+	if len(fact.Acquires) == 0 && len(fact.Nested) == 0 && len(fact.Calls) == 0 {
+		return nil
+	}
+	return fact
+}
+
+// replayBlock applies a block's lock events to held, optionally
+// recording acquisition sites, nesting edges and calls-under-locks into
+// fact. It returns the block's exit held-set.
+func replayBlock(pass *Pass, b *Block, held map[string]bool, fact *LockOrderFact) map[string]bool {
+	cur := make(map[string]bool, len(held))
+	for l := range held {
+		cur[l] = true
+	}
+	for _, s := range b.Stmts {
+		for _, n := range stmtEventNodes(s) {
+			lockWalk(n, func(call *ast.CallExpr) {
+				op, lock, ok := lockOp(pass.Info, call)
+				if ok && lock == "" {
+					return // a mutex without a stable identity (local)
+				}
+				switch {
+				case ok && (op == lockAcquire):
+					if fact != nil {
+						pos := pass.Fset.Position(call.Pos())
+						fact.Acquires = append(fact.Acquires, LockSite{Lock: lock, Pos: pos})
+						for h := range cur {
+							fact.Nested = append(fact.Nested, LockEdge{From: h, To: lock, Pos: pos})
+						}
+					}
+					cur[lock] = true
+				case ok && op == lockRelease:
+					delete(cur, lock)
+				default:
+					if fact == nil || len(cur) == 0 {
+						return
+					}
+					site, okc := pass.Graph().classify(pass.Info, call)
+					if !okc || site.Kind == CallDynamic {
+						return
+					}
+					callees := pass.Graph().Callees(site)
+					if len(callees) == 0 {
+						return
+					}
+					heldList := make([]string, 0, len(cur))
+					for h := range cur {
+						heldList = append(heldList, h)
+					}
+					sort.Strings(heldList)
+					fact.Calls = append(fact.Calls, LockCallHold{
+						Callees: callees,
+						Held:    heldList,
+						Pos:     pass.Fset.Position(call.Pos()),
+					})
+				}
+			})
+		}
+	}
+	return cur
+}
+
+// stmtEventNodes returns the parts of a CFG block statement whose
+// expressions execute in that block: control statements contribute only
+// their condition, plain statements contribute themselves. go statements
+// contribute nothing (their call runs on another goroutine, outside the
+// caller's locks); defer statements contribute nothing (a deferred
+// Unlock is modeled by never releasing — the lock is held to the end).
+func stmtEventNodes(s ast.Stmt) []ast.Node {
+	switch x := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{x.Cond}
+	case *ast.ForStmt:
+		if x.Cond != nil {
+			return []ast.Node{x.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		return []ast.Node{x.X}
+	case *ast.SwitchStmt:
+		if x.Tag != nil {
+			return []ast.Node{x.Tag}
+		}
+		return nil
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{x.Assign}
+	case *ast.SelectStmt, *ast.GoStmt, *ast.DeferStmt:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}
+
+// lockWalk visits every call expression under n, skipping function
+// literal bodies (they execute elsewhere).
+func lockWalk(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(x)
+		}
+		return true
+	})
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp recognizes E.Lock/RLock/TryLock/TryRLock/Unlock/RUnlock where E
+// is a sync.Mutex or sync.RWMutex, returning the operation and the
+// lock's stable identity ("" when E has none — a local variable).
+func lockOp(info *types.Info, call *ast.CallExpr) (lockOpKind, string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, "", false
+	}
+	var op lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return lockNone, "", false
+	}
+	recv := sel.X
+	tv, ok := info.Types[recv]
+	if !ok || !isMutexType(tv.Type) {
+		return lockNone, "", false
+	}
+	return op, lockIdentity(info, recv), true
+}
+
+// isMutexType reports sync.Mutex / sync.RWMutex, possibly behind one
+// pointer.
+func isMutexType(t types.Type) bool {
+	return isPkgType(t, "sync", "Mutex") || isPkgType(t, "sync", "RWMutex")
+}
+
+// lockIdentity names a mutex by its declaration: "pkg.Type.field" for
+// struct fields (every instance of the field is one lock-order node —
+// the per-instance order of sharded locks is exactly what the analyzer
+// cannot see, and what an //hdlint:ignore must document), "pkg.var" for
+// package-level variables, "" for anything else.
+func lockIdentity(info *types.Info, e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if n := derefNamed(s.Recv()); n != nil && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + x.Sel.Name
+			}
+			return ""
+		}
+		// Package-qualified var: pkg.Mu.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			if key, ok := objectKey(v); ok {
+				return key
+			}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			if key, ok := objectKey(v); ok {
+				return key
+			}
+		}
+	}
+	return ""
+}
+
+// finishLockOrder assembles the global graph and reports cyclic edges.
+func finishLockOrder(fin *Finish) {
+	facts := fin.AllObjectFacts(&LockOrderFact{})
+
+	// mayAcquire: lock identities each function can take, transitively.
+	may := make(map[string]map[string]bool)
+	factOf := make(map[string]*LockOrderFact, len(facts))
+	for _, of := range facts {
+		lf := of.Fact.(*LockOrderFact)
+		factOf[of.Key] = lf
+		set := make(map[string]bool)
+		for _, a := range lf.Acquires {
+			set[a.Lock] = true
+		}
+		may[of.Key] = set
+	}
+	// Propagate callee acquisition sets to callers over the call graph
+	// (static and interface edges; go/defer excluded — not synchronous).
+	g := fin.Run.Graph
+	for changed := true; changed; {
+		changed = false
+		for key, node := range g.Nodes {
+			for _, site := range node.Calls {
+				if site.Go || site.Defer || site.Kind == CallDynamic {
+					continue
+				}
+				for _, callee := range g.Callees(site) {
+					for l := range may[callee] {
+						if may[key] == nil {
+							may[key] = make(map[string]bool)
+						}
+						if !may[key][l] {
+							may[key][l] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// The lock graph: direct nesting edges plus held-at-call × callee
+	// may-acquire edges. First position wins per (from,to) pair.
+	edges := make(map[string]map[string]edgeInfo)
+	addEdge := func(from, to string, info edgeInfo) {
+		if edges[from] == nil {
+			edges[from] = make(map[string]edgeInfo)
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = info
+		}
+	}
+	var keys []string
+	for k := range factOf {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		lf := factOf[k]
+		for _, e := range lf.Nested {
+			addEdge(e.From, e.To, edgeInfo{pos: e.Pos})
+		}
+		for _, c := range lf.Calls {
+			for _, callee := range c.Callees {
+				var acq []string
+				for l := range may[callee] {
+					acq = append(acq, l)
+				}
+				sort.Strings(acq)
+				for _, to := range acq {
+					for _, from := range c.Held {
+						addEdge(from, to, edgeInfo{pos: c.Pos, via: callee})
+					}
+				}
+			}
+		}
+	}
+
+	// Strongly connected components over lock nodes; an edge inside an
+	// SCC (or a self-loop) participates in a cycle.
+	scc := tarjanSCC(edges)
+	var froms []string
+	for f := range edges {
+		froms = append(froms, f)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		var tos []string
+		for to := range edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			info := edges[from][to]
+			switch {
+			case from == to:
+				fin.ReportAt(info.pos,
+					"lock order: %s acquired while already held%s — self-deadlock, or two instances whose ordering discipline needs an //hdlint:ignore reason",
+					shortLock(from), viaClause(info.via))
+			case scc[from] != 0 && scc[from] == scc[to]:
+				fin.ReportAt(info.pos,
+					"lock order cycle: %s is held when %s is acquired%s, but elsewhere the order reverses — a consistent global acquisition order is required",
+					shortLock(from), shortLock(to), viaClause(info.via))
+			}
+		}
+	}
+}
+
+// edgeInfo annotates one lock-graph edge with where it was observed and,
+// for held-at-call edges, which callee completes it.
+type edgeInfo struct {
+	pos token.Position
+	via string
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func viaClause(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (via call to " + via + ")"
+}
+
+// shortLock trims the module prefix for readability.
+func shortLock(l string) string {
+	if i := strings.LastIndex(l, "/"); i >= 0 {
+		return l[i+1:]
+	}
+	return l
+}
+
+// tarjanSCC returns a component id per node; only components with more
+// than one node get a non-zero id (self-loops are handled separately).
+func tarjanSCC(edges map[string]map[string]edgeInfo) map[string]int {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, compID := 1, 1
+
+	var nodes []string
+	seen := make(map[string]bool)
+	for f, tos := range edges {
+		if !seen[f] {
+			seen[f] = true
+			nodes = append(nodes, f)
+		}
+		for t := range tos {
+			if !seen[t] {
+				seen[t] = true
+				nodes = append(nodes, t)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var tos []string
+		for t := range edges[v] {
+			tos = append(tos, t)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				for _, m := range members {
+					comp[m] = compID
+				}
+				compID++
+			}
+		}
+	}
+	for _, v := range nodes {
+		if index[v] == 0 {
+			strongconnect(v)
+		}
+	}
+	return comp
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hdsampler/internal/lint"
+	"hdsampler/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrderAnalyzer, "lockdep", "lockorder")
+}

@@ -1,0 +1,41 @@
+// Package callgraph is the corpus for call-graph construction tests:
+// static calls, interface dispatch, method values, dynamic calls, and
+// go/defer sites.
+package callgraph
+
+type Speaker interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{ name string }
+
+func (c *Cat) Speak() string { return "meow " + c.name }
+
+func helper() {}
+
+func direct() { helper() }
+
+func viaInterface(s Speaker) string { return s.Speak() }
+
+// methodValue makes Dog.Speak escape as a value — the only address-taken
+// func() string in the package.
+func methodValue() func() string {
+	var d Dog
+	return d.Speak
+}
+
+func dynamic(f func() string) { f() }
+
+func spawn() {
+	go helper()
+	defer helper()
+}
+
+// literals: the func literal's body is attributed to this declaration;
+// calling fn is a dynamic site.
+func literals() {
+	fn := func() { helper() }
+	fn()
+}

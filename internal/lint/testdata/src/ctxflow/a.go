@@ -1,0 +1,63 @@
+// Package ctxflow is the corpus for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+
+	"ctxroot"
+)
+
+func fresh() {
+	_ = context.Background() // want `outside main, init, or tests`
+}
+
+func todo() {
+	_ = context.TODO() // want `outside main, init, or tests`
+}
+
+func init() {
+	_ = context.Background() // init may anchor process-lifetime state
+}
+
+func use(ctx context.Context) { _ = ctx }
+
+// threaded does what the analyzer wants: the context flows through.
+func threaded(ctx context.Context) {
+	use(ctx)
+}
+
+func derived(ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	use(sub)
+}
+
+// launder holds a context and swaps in a wrapper's fresh root — flagged
+// through ctxroot.NewRoot's exported fact.
+func launder(ctx context.Context) {
+	use(ctxroot.NewRoot()) // want `discards the in-scope context "ctx"`
+}
+
+func dropsDirect(ctx context.Context) {
+	_ = context.Background() // want `discards the in-scope context "ctx"`
+}
+
+// freshOK: without a context in scope, the sanctioned wrapper is the
+// right way to make one.
+func freshOK() {
+	_ = ctxroot.NewRoot()
+}
+
+// localWrap re-wraps the dep root; the fact propagates to it.
+func localWrap() context.Context {
+	return ctxroot.NewRoot()
+}
+
+func launderTwice(ctx context.Context) {
+	use(localWrap()) // want `discards the in-scope context`
+}
+
+func suppressed(ctx context.Context) {
+	//hdlint:ignore ctxflow the audit trail must survive request cancellation
+	_ = context.Background()
+}

@@ -1,0 +1,18 @@
+// Package main exercises the ctxflow main-package exemption.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background()) // main is the root of the context tree
+}
+
+func run(ctx context.Context) {
+	_ = ctx
+}
+
+// helper shows the exemption is per-rule, not per-package: even in main,
+// a function already holding a context may not discard it.
+func helper(ctx context.Context) {
+	_ = context.TODO() // want `discards the in-scope context`
+}

@@ -1,0 +1,12 @@
+// Package ctxroot supplies a sanctioned root-context wrapper; the
+// root-ness travels to importers as a fact so a ctx-holding caller
+// cannot launder the context.Background ban through it.
+package ctxroot
+
+import "context"
+
+// NewRoot anchors a fresh context tree for detached work.
+func NewRoot() context.Context {
+	//hdlint:ignore ctxflow job trees outlive their submitting request by design
+	return context.Background()
+}

@@ -1,0 +1,12 @@
+// Package factdep is the exporting side of the fact round-trip test.
+package factdep
+
+// Alpha and Beta are plain functions; T.Method exercises the pointer
+// receiver key normalization ((*T).M and (T).M must collapse).
+func Alpha() {}
+
+func Beta() {}
+
+type T struct{ n int }
+
+func (t *T) Method() { t.n++ }

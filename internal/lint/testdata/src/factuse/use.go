@@ -1,0 +1,12 @@
+// Package factuse is the importing side of the fact round-trip test:
+// the objects it resolves for factdep's functions come from a different
+// type-check of that package than the one the facts were exported under.
+package factuse
+
+import "factdep"
+
+func Caller() {
+	factdep.Alpha()
+	var t factdep.T
+	t.Method()
+}

@@ -1,0 +1,101 @@
+// Package goleak is the corpus for the goleak analyzer.
+package goleak
+
+import (
+	"context"
+	"sync"
+
+	"goleakdep"
+)
+
+// spinForever is only a problem when started as a goroutine.
+func spinForever() {
+	for {
+	}
+}
+
+func spawnLit() {
+	go func() { // want `goroutine never terminates`
+		for {
+		}
+	}()
+}
+
+func spawnEmptySelect() {
+	go func() { // want `empty select`
+		select {}
+	}()
+}
+
+func spawnNamed() {
+	go spinForever() // want `goroutine never terminates`
+}
+
+func spawnDep() {
+	go goleakdep.Forever() // want `goroutine never terminates`
+}
+
+// wrapper never terminates because every path runs into Forever; the
+// property propagates one call level (and across the package boundary).
+func wrapper() {
+	goleakdep.Forever()
+}
+
+func spawnWrapper() {
+	go wrapper() // want `never terminates`
+}
+
+// litCallsBlocking: the literal itself loops nowhere, but its body runs
+// into a never-terminating callee.
+func litCallsBlocking() {
+	go func() { // want `goroutine never terminates`
+		goleakdep.Forever()
+	}()
+}
+
+func okCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func okRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func okBounded(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		goleakdep.Bounded()
+	}()
+}
+
+func okBreak(ch chan int) {
+	go func() {
+		for {
+			if _, open := <-ch; !open {
+				break
+			}
+		}
+	}()
+}
+
+func immortal() {
+	//hdlint:ignore goleak metrics pump deliberately lives for the process lifetime
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,17 @@
+// Package goleakdep supplies callees for the cross-package goleak cases;
+// the never-terminates property travels to importers as a fact.
+package goleakdep
+
+// Forever spins with no exit path. Declaring it is legal — only a go
+// statement starting it is a leak.
+func Forever() {
+	for {
+	}
+}
+
+// Bounded terminates.
+func Bounded() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,28 @@
+// Package lockdep supplies locks for the cross-package lockorder cases:
+// its acquisition summaries travel to the importing corpus as facts.
+package lockdep
+
+import "sync"
+
+// Mu is the package-level lock the main corpus orders against.
+var Mu sync.Mutex
+
+// Store carries a field lock acquired before Mu.
+type Store struct {
+	mu sync.Mutex
+}
+
+// Touch acquires the package lock; a caller holding its own lock creates
+// a cross-package edge through this function's fact.
+func Touch() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}
+
+// Fill orders Store.mu before Mu — an edge that stays acyclic.
+func (s *Store) Fill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	Mu.Lock()
+	Mu.Unlock()
+}

@@ -1,0 +1,138 @@
+// Package lockorder is the corpus for the lockorder analyzer.
+package lockorder
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.RWMutex }
+
+var a A
+var b B
+
+// abOrder takes A.mu before B.mu; with baOrder below that is the classic
+// AB-BA deadlock, reported once at each edge.
+func abOrder() {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock order cycle`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baOrder() {
+	b.mu.RLock()
+	a.mu.Lock() // want `lock order cycle`
+	a.mu.Unlock()
+	b.mu.RUnlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+var c C
+var d D
+
+// cdOne and cdTwo agree on C before D: a consistent order is silent.
+func cdOne() {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func cdTwo() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// sequential releases D before taking C: no held-before edge, no cycle.
+func sequential() {
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+var e E
+
+func reenter() {
+	e.mu.Lock()
+	e.mu.Lock() // want `acquired while already held`
+	e.mu.Unlock()
+	e.mu.Unlock()
+}
+
+type F struct{ mu sync.Mutex }
+type G struct{ mu sync.Mutex }
+
+var fv F
+var gv G
+
+func lockG() {
+	gv.mu.Lock()
+	gv.mu.Unlock()
+}
+
+// callHolding reaches G.mu through lockG while holding F.mu; reverseHold
+// closes the cycle directly.
+func callHolding() {
+	fv.mu.Lock()
+	lockG() // want `lock order cycle`
+	fv.mu.Unlock()
+}
+
+func reverseHold() {
+	gv.mu.Lock()
+	fv.mu.Lock() // want `lock order cycle`
+	fv.mu.Unlock()
+	gv.mu.Unlock()
+}
+
+type H struct{ mu sync.Mutex }
+
+var h H
+
+// depFirst and depSecond disagree about H.mu versus lockdep.Mu; the
+// closing edge lives behind lockdep.Touch's exported fact.
+func depFirst() {
+	h.mu.Lock()
+	lockdep.Touch() // want `lock order cycle`
+	h.mu.Unlock()
+}
+
+func depSecond() {
+	lockdep.Mu.Lock()
+	h.mu.Lock() // want `lock order cycle`
+	h.mu.Unlock()
+	lockdep.Mu.Unlock()
+}
+
+type S struct{ mu sync.Mutex }
+
+var s1, s2 S
+
+// shardPair reacquires the same lock identity on purpose: two shards,
+// always locked in index order — the documented suppression.
+func shardPair() {
+	s1.mu.Lock()
+	//hdlint:ignore lockorder shards are locked in ascending index order by construction
+	s2.mu.Lock()
+	s2.mu.Unlock()
+	s1.mu.Unlock()
+}
+
+// local mutexes have no stable identity and stay out of the graph.
+func local() {
+	var mu sync.Mutex
+	mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	mu.Unlock()
+}

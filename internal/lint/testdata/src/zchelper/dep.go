@@ -1,0 +1,18 @@
+// Package zchelper holds telemetry helpers for the cross-package
+// zerocost fact case: Note's unguarded parameter obligation travels to
+// importing hot paths.
+package zchelper
+
+import "telemetry"
+
+// Note records through tr without guarding; callers own the nil check.
+func Note(tr *telemetry.Trace) {
+	tr.Mark()
+}
+
+// SafeNote guards internally; callers owe nothing.
+func SafeNote(tr *telemetry.Trace) {
+	if tr != nil {
+		tr.Mark()
+	}
+}

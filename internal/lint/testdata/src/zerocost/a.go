@@ -1,0 +1,106 @@
+// Package zerocost is the corpus for the zerocost analyzer.
+package zerocost
+
+import (
+	"telemetry"
+
+	"zchelper"
+)
+
+//hdlint:hotpath
+func hotDirect(tr *telemetry.Trace) {
+	tr.Mark() // want `unguarded telemetry call tr.Mark`
+}
+
+//hdlint:hotpath
+func hotGuarded(tr *telemetry.Trace) {
+	if tr != nil {
+		tr.Mark()
+		tr.MarkN(2)
+	}
+}
+
+//hdlint:hotpath
+func hotEarlyReturn(tr *telemetry.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Mark()
+}
+
+//hdlint:hotpath
+func hotElse(tr *telemetry.Trace, n int) {
+	if tr == nil {
+		_ = n
+	} else {
+		tr.MarkN(n)
+	}
+}
+
+//hdlint:hotpath
+func hotConjunction(tr *telemetry.Trace, on bool) {
+	if on && tr != nil {
+		tr.Mark()
+	}
+}
+
+//hdlint:hotpath
+func hotLeaksScope(tr *telemetry.Trace) {
+	if tr != nil {
+		tr.Mark()
+	}
+	tr.Mark() // want `unguarded telemetry call tr.Mark`
+}
+
+//hdlint:hotpath
+func hotHelper(tr *telemetry.Trace) {
+	zchelper.Note(tr) // want `tr is passed to Note`
+}
+
+//hdlint:hotpath
+func hotHelperGuarded(tr *telemetry.Trace) {
+	if tr != nil {
+		zchelper.Note(tr)
+	}
+}
+
+//hdlint:hotpath
+func hotHelperNil() {
+	zchelper.Note(nil) // literal nil is the off state: never runs hot
+}
+
+//hdlint:hotpath
+func hotSafeHelper(tr *telemetry.Trace) {
+	zchelper.SafeNote(tr) // the helper guards internally
+}
+
+// forward inherits Note's obligation transitively: it hands its own
+// unguarded parameter down.
+func forward(tr *telemetry.Trace) {
+	zchelper.Note(tr)
+}
+
+//hdlint:hotpath
+func hotTransitive(tr *telemetry.Trace) {
+	forward(tr) // want `tr is passed to forward`
+}
+
+// coldUnguarded is legal: the zero-cost contract binds hot paths only.
+func coldUnguarded(tr *telemetry.Trace) {
+	tr.MarkN(3)
+}
+
+//hdlint:hotpath
+func hotSuppressed(tr *telemetry.Trace) {
+	//hdlint:ignore zerocost startup-only branch, measured free of per-op cost
+	tr.Mark()
+}
+
+type holder struct{ tr *telemetry.Trace }
+
+//hdlint:hotpath
+func hotInit(x *holder) {
+	if tr := x.tr; tr != nil {
+		tr.Mark()
+	}
+}

@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ZeroCostAnalyzer machine-checks the zero-cost-when-off telemetry
+// contract on hot paths: when tracing is disabled the instruments are
+// nil, and //hdlint:hotpath code may only touch them behind the
+// documented guard form `if tr != nil { ... }` — an unguarded instrument
+// call is either a nil-dereference-in-waiting or a hidden per-operation
+// cost. The check is flow-aware for the guard shapes the tree actually
+// uses: `if tr != nil { ... }`, `if tr == nil { return }` early exits,
+// and `if tr := x.T(); tr != nil { ... }` initializers.
+//
+// Helpers make it interprocedural: a function that calls telemetry
+// methods on one of its parameters without guarding exports a fact
+// naming the parameter indices, and a hotpath caller must then guard the
+// argument it passes at those positions (or pass literal nil). The fact
+// is transitive — a helper forwarding its parameter to another unguarded
+// helper inherits the obligation — and crosses package boundaries.
+// Package telemetry itself and _test.go files are exempt; receivers
+// (as opposed to parameters) are not tracked.
+var ZeroCostAnalyzer = &Analyzer{
+	Name: "zerocost",
+	Doc: "//hdlint:hotpath code may call telemetry instruments only behind the nil " +
+		"guard `if tr != nil { ... }`; unguarded helper parameters propagate via facts",
+	Run: runZeroCost,
+}
+
+// TelemetryUnguardedFact lists the parameter indices a function calls
+// telemetry methods on without a nil guard.
+type TelemetryUnguardedFact struct {
+	Params []int
+	Pos    token.Position
+}
+
+// AFact marks TelemetryUnguardedFact as a fact.
+func (*TelemetryUnguardedFact) AFact() {}
+
+func runZeroCost(pass *Pass) {
+	if pass.Pkg.Name() == "telemetry" {
+		return
+	}
+	decls := zeroCostDecls(pass)
+	// Fact sub-pass, iterated to a fixpoint so same-package helper chains
+	// resolve regardless of declaration order.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if exportUnguarded(pass, fd) {
+				changed = true
+			}
+		}
+	}
+	for _, fd := range decls {
+		if hasHotPathMarker(fd.Doc) {
+			z := &zcScan{pass: pass, report: true}
+			z.stmts(fd.Body.List, nil)
+		}
+	}
+}
+
+func zeroCostDecls(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// exportUnguarded scans fd for unguarded telemetry use of its parameters
+// and exports/extends its fact; it reports whether the fact grew.
+func exportUnguarded(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	z := &zcScan{pass: pass, paramIdx: paramIndices(pass, fd), unguarded: make(map[int]bool)}
+	z.stmts(fd.Body.List, nil)
+	if len(z.unguarded) == 0 {
+		return false
+	}
+	var params []int
+	for i := range z.unguarded {
+		params = append(params, i)
+	}
+	sort.Ints(params)
+	var prev TelemetryUnguardedFact
+	if pass.ImportObjectFact(obj, &prev) && len(prev.Params) == len(params) {
+		same := true
+		for i := range params {
+			if prev.Params[i] != params[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	pass.ExportObjectFact(obj, &TelemetryUnguardedFact{
+		Params: params,
+		Pos:    pass.Fset.Position(fd.Pos()),
+	})
+	return true
+}
+
+func paramIndices(pass *Pass, fd *ast.FuncDecl) map[types.Object]int {
+	idx := make(map[types.Object]int)
+	i := 0
+	for _, fld := range fd.Type.Params.List {
+		for _, name := range fld.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				idx[obj] = i
+			}
+			i++
+		}
+		if len(fld.Names) == 0 {
+			i++
+		}
+	}
+	return idx
+}
+
+// zcScan walks one function's statements tracking the set of expressions
+// currently known non-nil (by their printed form), reporting violations
+// (hotpath mode) or collecting unguarded parameter indices (fact mode).
+type zcScan struct {
+	pass      *Pass
+	paramIdx  map[types.Object]int
+	report    bool
+	unguarded map[int]bool
+}
+
+func (z *zcScan) stmts(list []ast.Stmt, g map[string]bool) {
+	for _, s := range list {
+		g = z.stmt(s, g)
+	}
+}
+
+// stmt processes one statement under guard set g and returns the guard
+// set for the statements that follow it (extended by early-return nil
+// checks).
+func (z *zcScan) stmt(s ast.Stmt, g map[string]bool) map[string]bool {
+	switch x := s.(type) {
+	case *ast.IfStmt:
+		if x.Init != nil {
+			z.exprScan(x.Init, g)
+		}
+		z.exprScan(x.Cond, g)
+		neq, eq := nilChecks(x.Cond)
+		z.stmts(x.Body.List, guardUnion(g, neq))
+		switch e := x.Else.(type) {
+		case *ast.BlockStmt:
+			z.stmts(e.List, guardUnion(g, eq))
+		case *ast.IfStmt:
+			z.stmt(e, guardUnion(g, eq))
+		}
+		if len(eq) > 0 && blockTerminates(z.pass.Info, x.Body) {
+			return guardUnion(g, eq)
+		}
+		return g
+	case *ast.BlockStmt:
+		z.stmts(x.List, g)
+	case *ast.LabeledStmt:
+		return z.stmt(x.Stmt, g)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			z.exprScan(x.Init, g)
+		}
+		if x.Cond != nil {
+			z.exprScan(x.Cond, g)
+		}
+		if x.Post != nil {
+			z.exprScan(x.Post, g)
+		}
+		z.stmts(x.Body.List, g)
+	case *ast.RangeStmt:
+		z.exprScan(x.X, g)
+		z.stmts(x.Body.List, g)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			z.exprScan(x.Init, g)
+		}
+		if x.Tag != nil {
+			z.exprScan(x.Tag, g)
+		}
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					z.exprScan(e, g)
+				}
+				z.stmts(cc.Body, g)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			z.exprScan(x.Init, g)
+		}
+		z.exprScan(x.Assign, g)
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				z.stmts(cc.Body, g)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					z.exprScan(cc.Comm, g)
+				}
+				z.stmts(cc.Body, g)
+			}
+		}
+	case *ast.GoStmt:
+		z.exprScan(x.Call, g)
+	case *ast.DeferStmt:
+		z.exprScan(x.Call, g)
+	default:
+		z.exprScan(s, g)
+	}
+	return g
+}
+
+// exprScan finds telemetry calls and fact-carrying callees under n;
+// function literal bodies re-enter the statement walker with the current
+// guard set (captures keep their known nil-ness).
+func (z *zcScan) exprScan(n ast.Node, g map[string]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			z.stmts(x.Body.List, g)
+			return false
+		case *ast.CallExpr:
+			z.call(x, g)
+		}
+		return true
+	})
+}
+
+func (z *zcScan) call(call *ast.CallExpr, g map[string]bool) {
+	info := z.pass.Info
+	// Direct instrument call: a method on a type from package telemetry.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if n := derefNamed(s.Recv()); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "telemetry" {
+				recv := types.ExprString(sel.X)
+				if !g[recv] {
+					z.flag(call.Pos(), sel.X,
+						"hotpath: unguarded telemetry call %s.%s — the zero-cost-when-off contract requires `if %s != nil { %s.%s(...) }`",
+						recv, sel.Sel.Name, recv, recv, sel.Sel.Name)
+				}
+				return
+			}
+		}
+	}
+	// A call into a helper that uses some parameters unguarded.
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return
+	}
+	var fact TelemetryUnguardedFact
+	if !z.pass.ImportObjectFact(fn, &fact) {
+		return
+	}
+	for _, i := range fact.Params {
+		if i >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[i]
+		if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+			continue // literal nil is the off state; the helper's calls never run hot
+		}
+		as := types.ExprString(arg)
+		if g[as] {
+			continue
+		}
+		z.flag(arg.Pos(), arg,
+			"hotpath: %s is passed to %s, which calls telemetry on it unguarded (declared at %s) — wrap the call in `if %s != nil { ... }`",
+			as, fn.Name(), fact.Pos, as)
+	}
+}
+
+// flag reports in hotpath mode and records unguarded parameter use in
+// fact mode.
+func (z *zcScan) flag(pos token.Pos, recv ast.Expr, format string, args ...any) {
+	if z.report {
+		z.pass.Reportf(pos, format, args...)
+		return
+	}
+	if id, ok := unparen(recv).(*ast.Ident); ok {
+		if obj, ok := z.pass.Info.Uses[id].(*types.Var); ok {
+			if i, ok := z.paramIdx[obj]; ok {
+				z.unguarded[i] = true
+			}
+		}
+	}
+}
+
+// guardUnion returns g extended with the printed forms in add, copying
+// only when needed.
+func guardUnion(g map[string]bool, add []string) map[string]bool {
+	if len(add) == 0 {
+		return g
+	}
+	out := make(map[string]bool, len(g)+len(add))
+	for k := range g {
+		out[k] = true
+	}
+	for _, a := range add {
+		out[a] = true
+	}
+	return out
+}
+
+// nilChecks splits a condition into the expressions it proves non-nil
+// (neq, from `x != nil`) and nil (eq, from `x == nil`), looking through
+// parentheses, negation, and &&/|| conjunctions. Treating || arms as
+// proofs over-accepts slightly (`a != nil || b != nil` guards neither
+// arm alone); the guard forms in the tree are plain conjunctions, and
+// the cost of the approximation is a missed finding, never a false one.
+func nilChecks(e ast.Expr) (neq, eq []string) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return nilChecks(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			n, q := nilChecks(x.X)
+			return q, n
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR:
+			n1, q1 := nilChecks(x.X)
+			n2, q2 := nilChecks(x.Y)
+			return append(n1, n2...), append(q1, q2...)
+		case token.NEQ, token.EQL:
+			var other ast.Expr
+			if isNilIdent(x.X) {
+				other = x.Y
+			} else if isNilIdent(x.Y) {
+				other = x.X
+			}
+			if other != nil {
+				if x.Op == token.NEQ {
+					return []string{types.ExprString(other)}, nil
+				}
+				return nil, []string{types.ExprString(other)}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// blockTerminates reports whether a block's last statement leaves the
+// enclosing statement list: return, branch, or a never-returning call.
+func blockTerminates(info *types.Info, b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch x := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			return (&cfgBuilder{info: info}).neverReturns(call)
+		}
+	}
+	return false
+}

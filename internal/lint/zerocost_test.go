@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hdsampler/internal/lint"
+	"hdsampler/internal/lint/linttest"
+)
+
+func TestZeroCost(t *testing.T) {
+	linttest.Run(t, lint.ZeroCostAnalyzer, "telemetry", "zchelper", "zerocost")
+}

@@ -302,7 +302,9 @@ func (x *Executor) execute(ctx context.Context, q hiddendb.Query, tr *telemetry.
 				return nil, c.err
 			}
 			x.coalesced.Add(1)
-			tr.MarkExec(telemetry.ExecCoalesced)
+			if tr != nil {
+				tr.MarkExec(telemetry.ExecCoalesced)
+			}
 			return c.res, nil
 		}
 		//hdlint:ignore hotpath the leader's flight record: one allocation per distinct in-flight query, amortized across every coalesced follower

@@ -265,7 +265,8 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 		order = core.OrderShuffle
 	}
 	var gen core.Generator
-	ctx := context.Background() // run outlives the request
+	//hdlint:ignore ctxflow the launched run outlives the submitting HTTP request by design; deriving from r.Context() would cancel it on response
+	ctx := context.Background()
 	switch r.Form.Get("method") {
 	case "walk", "":
 		gen, err = core.NewWalker(ctx, conn, core.WalkerConfig{Seed: s.nextID, Order: order, Attrs: attrs})

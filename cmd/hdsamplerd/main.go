@@ -52,6 +52,9 @@ func main() {
 		batchMax     = flag.Int("batch-max", 16, "max queries per batch wire request")
 		cacheCap     = flag.Int("cache-entries", 0, "max entries per shared host history cache (0 = unlimited)")
 		histDir      = flag.String("history-dir", "", "checkpoint directory for shared history caches: dumped on shutdown, warm-started on first use (empty = off)")
+		journalDir   = flag.String("journal-dir", "", "crash-safe job journal directory: admissions fsynced before ack, progress checkpointed, interrupted jobs requeued on restart (empty = no durability)")
+		ckptEvery    = flag.Duration("checkpoint-every", 2*time.Second, "mid-run progress checkpoint interval for journaled jobs (negative = admission/terminal records only)")
+		compactEvery = flag.Int("journal-compact-every", 0, "journal records between snapshot+truncate compactions (0 = default 4096)")
 		faultProf    = flag.String("fault-profile", "none", "chaos mode: wrap every target connector in this faultform preset ("+strings.Join(faultform.PresetNames(), "|")+")")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for reproducible fault injection")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
@@ -78,22 +81,25 @@ func main() {
 	pprofserve.Start("hdsamplerd", *pprofAddr)
 
 	mgr, srv := newDaemon(*addr, jobsvc.Config{
-		DataDir:         *dataDir,
-		MaxConcurrent:   *maxJobs,
-		HostRatePerSec:  *hostRate,
-		HostBurst:       *hostBurst,
-		HostMaxInFlight: *hostInFlight,
-		BatchLinger:     *batchLinger,
-		BatchMax:        *batchMax,
-		CacheMaxEntries: *cacheCap,
-		HistoryDir:      *histDir,
-		FaultProfile:    *faultProf,
-		FaultSeed:       *faultSeed,
-		TraceSampleRate: *traceRate,
-		TraceCapacity:   *traceBuffer,
-		SlowWalk:        *slowWalk,
-		SlowWalkQueries: *slowQueries,
-		Logger:          base,
+		DataDir:             *dataDir,
+		MaxConcurrent:       *maxJobs,
+		HostRatePerSec:      *hostRate,
+		HostBurst:           *hostBurst,
+		HostMaxInFlight:     *hostInFlight,
+		BatchLinger:         *batchLinger,
+		BatchMax:            *batchMax,
+		CacheMaxEntries:     *cacheCap,
+		HistoryDir:          *histDir,
+		JournalDir:          *journalDir,
+		CheckpointEvery:     *ckptEvery,
+		JournalCompactEvery: *compactEvery,
+		FaultProfile:        *faultProf,
+		FaultSeed:           *faultSeed,
+		TraceSampleRate:     *traceRate,
+		TraceCapacity:       *traceBuffer,
+		SlowWalk:            *slowWalk,
+		SlowWalkQueries:     *slowQueries,
+		Logger:              base,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -102,7 +108,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	lg.Info("listening", "addr", *addr, "max_jobs", *maxJobs,
-		"host_rate", *hostRate, "data", *dataDir, "trace_rate", *traceRate)
+		"host_rate", *hostRate, "data", *dataDir, "journal", *journalDir, "trace_rate", *traceRate)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,400 @@
+package crashtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/exact"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/jobsvc"
+	"hdsampler/internal/metrics"
+	"hdsampler/internal/store"
+	"hdsampler/internal/webform"
+)
+
+// binPath is the hdsamplerd binary built once in TestMain.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "crashtest-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "hdsamplerd")
+	build := exec.Command("go", "build", "-o", binPath, "hdsampler/cmd/hdsamplerd")
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: build hdsamplerd: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// envInt reads an integer knob with a default.
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+// daemon is one hdsamplerd subprocess generation.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://addr
+}
+
+// startDaemon launches hdsamplerd over the given state directories and
+// blocks until /healthz answers. Daemon output is appended to logW so
+// every generation's logs land in one artifact file.
+func startDaemon(t *testing.T, addr string, logW io.Writer, dirs [3]string) *daemon {
+	t.Helper()
+	cmd := exec.Command(binPath,
+		"-addr", addr,
+		"-journal-dir", dirs[0],
+		"-data", dirs[1],
+		"-history-dir", dirs[2],
+		"-checkpoint-every", "20ms",
+		"-journal-compact-every", "16",
+		"-max-jobs", "2",
+		"-host-rate", "250",
+		"-host-burst", "20",
+		"-log-level", "info",
+	)
+	cmd.Stdout = logW
+	cmd.Stderr = logW
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start hdsamplerd: %v", err)
+	}
+	d := &daemon{cmd: cmd, base: "http://" + addr}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			d.kill()
+			t.Fatalf("hdsamplerd did not become healthy on %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon — no drain, no fsync, the crash under test.
+func (d *daemon) kill() {
+	_ = d.cmd.Process.Kill()
+	_, _ = d.cmd.Process.Wait()
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func submit(t *testing.T, base string, spec jobsvc.Spec) jobsvc.View {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d: %s", resp.StatusCode, out)
+	}
+	var v jobsvc.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func job(t *testing.T, base, id string) jobsvc.View {
+	t.Helper()
+	var v jobsvc.View
+	getJSON(t, base+"/jobs/"+id, &v)
+	return v
+}
+
+func samples(t *testing.T, base, id string) *store.SampleSet {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/samples")
+	if err != nil {
+		t.Fatalf("samples %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("samples %s: %d: %s", id, resp.StatusCode, out)
+	}
+	set, err := store.Read(resp.Body)
+	if err != nil {
+		t.Fatalf("samples %s: %v", id, err)
+	}
+	return set
+}
+
+func validState(s jobsvc.State) bool {
+	switch s {
+	case jobsvc.StateQueued, jobsvc.StateRunning, jobsvc.StateCompleted,
+		jobsvc.StateFailed, jobsvc.StateCanceled:
+		return true
+	}
+	return false
+}
+
+// TestKill9Recovery is the harness: a real hdsamplerd subprocess against
+// a live webform target, SIGKILLed at randomized points mid-job over and
+// over, restarted over the same journal. See the package comment for the
+// contract each cycle asserts.
+func TestKill9Recovery(t *testing.T) {
+	if testing.Short() && os.Getenv("CRASH_CYCLES") == "" {
+		t.Skip("crash harness skipped in -short mode without CRASH_CYCLES")
+	}
+	cycles := envInt("CRASH_CYCLES", 20)
+	seed := int64(envInt("CRASH_SEED", 1))
+	rng := rand.New(rand.NewSource(seed))
+
+	// Artifact directory: journal + data + history + daemon logs. With
+	// CRASH_DIR set (CI), it outlives the run for upload on failure.
+	root := os.Getenv("CRASH_DIR")
+	if root == "" {
+		root = t.TempDir()
+	} else if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dirs := [3]string{filepath.Join(root, "journal"), filepath.Join(root, "data"), filepath.Join(root, "history")}
+	logF, err := os.Create(filepath.Join(root, "daemon.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logF.Close()
+
+	// The hidden-DB target lives in the test process, so it survives
+	// every daemon crash the way a real site would.
+	const dbSize, k, longN = 400, 50, 400
+	ds := datagen.Vehicles(dbSize, 21)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := httptest.NewServer(webform.NewServer(db, webform.Options{}))
+	defer target.Close()
+	dist, err := exact.WalkDist(db, nil, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	d := startDaemon(t, addr, logF, dirs)
+	defer func() { d.kill() }()
+
+	// A quick job that completes before the first crash: its terminal
+	// record and on-disk sample set must survive every cycle.
+	quick := submit(t, d.base, jobsvc.Spec{URL: target.URL, N: 5, Workers: 2, Seed: 7, C: 1, NoShuffle: true})
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if v := job(t, d.base, quick.ID); v.State.Terminal() {
+			if v.State != jobsvc.StateCompleted || v.Accepted != 5 {
+				t.Fatalf("quick job did not complete: %+v", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("quick job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The long jobs are the crash targets: one is always in flight,
+	// resuming from its journal checkpoint after each kill; whenever one
+	// completes it is verified and replaced, so every cycle crashes the
+	// daemon mid-job. NoShuffle pins the canonical attribute order so
+	// WalkDist is the exact reference for the bias gate (per-walk order
+	// shuffling samples from the order-averaged distribution instead).
+	longSpec := func(seed int64) jobsvc.Spec {
+		return jobsvc.Spec{URL: target.URL, N: longN, Workers: 3, Seed: seed, C: 1, NoShuffle: true}
+	}
+	nextSeed := int64(5)
+	live := submit(t, d.base, longSpec(nextSeed)).ID
+	var completed []string
+	var floorAccepted, floorQueries, floorEpoch int64
+
+	// verifyDone checks a finished long job: exact sample count (replay
+	// neither lost nor double-folded samples), a bill covering the last
+	// journaled floor, and in-domain tuples, which it feeds the bias gate.
+	counts := make([]int, dbSize)
+	totalSamples, resumed := 0, 0
+	verifyDone := func(id string, v jobsvc.View) {
+		t.Helper()
+		if v.State != jobsvc.StateCompleted {
+			t.Fatalf("long job %s ended %s: %+v", id, v.State, v)
+		}
+		if v.Accepted != longN {
+			t.Fatalf("%s accepted %d, want exactly %d (lost or duplicated samples)", id, v.Accepted, longN)
+		}
+		if v.Epoch >= 2 {
+			resumed++
+		}
+		set := samples(t, d.base, id)
+		tuples, _, err := set.DecodeSamples()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tuples) != longN {
+			t.Fatalf("%s sample set carries %d samples, want %d", id, len(tuples), longN)
+		}
+		if set.Queries < floorQueries {
+			t.Fatalf("%s sample-set bill %d below journaled floor %d", id, set.Queries, floorQueries)
+		}
+		for _, tu := range tuples {
+			if tu.ID < 0 || tu.ID >= dbSize {
+				t.Fatalf("%s sample outside DB domain: %d", id, tu.ID)
+			}
+			counts[tu.ID]++
+		}
+		totalSamples += len(tuples)
+	}
+
+	for cycle := 1; cycle <= cycles; cycle++ {
+		// Let the live job make some progress (and the journal compact),
+		// then pull the plug at a randomized point.
+		time.Sleep(time.Duration(60+rng.Intn(240)) * time.Millisecond)
+		d.kill()
+		fmt.Fprintf(logF, "--- crashtest: cycle %d restart ---\n", cycle)
+		d = startDaemon(t, addr, logF, dirs)
+
+		// No admitted job lost, all states valid.
+		var views []jobsvc.View
+		getJSON(t, d.base+"/jobs", &views)
+		if want := 2 + len(completed); len(views) != want {
+			t.Fatalf("cycle %d: %d jobs after restart, want %d: %+v", cycle, len(views), want, views)
+		}
+		for _, v := range views {
+			if !validState(v.State) {
+				t.Fatalf("cycle %d: job %s in invalid state %q", cycle, v.ID, v.State)
+			}
+		}
+		if q := job(t, d.base, quick.ID); q.State != jobsvc.StateCompleted || q.Accepted != 5 {
+			t.Fatalf("cycle %d: quick job regressed: %+v", cycle, q)
+		}
+
+		// Replayed accounting is monotone: the floors recovered from the
+		// journal never move backwards across restarts.
+		v := job(t, d.base, live)
+		if v.Accepted < floorAccepted {
+			t.Fatalf("cycle %d: %s accepted floor regressed %d -> %d", cycle, live, floorAccepted, v.Accepted)
+		}
+		if v.Queries < floorQueries {
+			t.Fatalf("cycle %d: %s query bill regressed %d -> %d", cycle, live, floorQueries, v.Queries)
+		}
+		if v.Epoch < floorEpoch {
+			t.Fatalf("cycle %d: %s epoch regressed %d -> %d", cycle, live, floorEpoch, v.Epoch)
+		}
+		floorAccepted, floorQueries, floorEpoch = v.Accepted, v.Queries, v.Epoch
+		if v.State.Terminal() {
+			verifyDone(live, v)
+			completed = append(completed, live)
+			nextSeed += 101
+			live = submit(t, d.base, longSpec(nextSeed)).ID
+			floorAccepted, floorQueries, floorEpoch = 0, 0, 0
+		}
+	}
+
+	// Convergence: the last resumed job must finish too.
+	var final jobsvc.View
+	for deadline := time.Now().Add(2 * time.Minute); ; {
+		final = job(t, d.base, live)
+		if final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("long job %s never converged after the crash cycles: %+v", live, final)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if final.Queries < floorQueries {
+		t.Fatalf("final query bill %d below journaled floor %d", final.Queries, floorQueries)
+	}
+	verifyDone(live, final)
+	completed = append(completed, live)
+	t.Logf("%d long jobs completed across %d crash cycles, %d resumed after a kill", len(completed), cycles, resumed)
+	if cycles >= 5 && resumed == 0 {
+		t.Fatal("no job was ever killed mid-run: the harness exercised nothing — retune the kill timing")
+	}
+
+	// Bias gate: samples accumulated across many crash epochs and resumed
+	// jobs must still match the exact walk-selection distribution (c=1:
+	// accept-all).
+	want := dist.Selection(1)
+	expected := make([]float64, len(want))
+	df := -1
+	for i, w := range want {
+		expected[i] = w * float64(totalSamples)
+		if w > 0 {
+			df++
+		}
+	}
+	const alpha = 1e-3
+	chi := metrics.ChiSquareStat(counts, expected)
+	if df > 0 {
+		if p := metrics.ChiSquarePValue(chi, df); p < alpha {
+			t.Fatalf("resumed samples biased: chi2=%.1f df=%d p=%.3g < %g", chi, df, p, alpha)
+		}
+	}
+
+	// Quick job's terminal sample set still loads from its checkpoint
+	// pointer after all those replays.
+	if qs := samples(t, d.base, quick.ID); func() int { n, _, _ := qs.DecodeSamples(); return len(n) }() != 5 {
+		t.Fatal("quick job's persisted sample set corrupted by the crash cycles")
+	}
+
+	// Durability health: the journal survived every kill without
+	// degrading, and the counters moved.
+	var h jobsvc.Health
+	getJSON(t, d.base+"/healthz", &h)
+	if h.Journal != "ok" || h.JournalStats == nil {
+		t.Fatalf("journal health after harness: %+v", h)
+	}
+	if h.JournalStats.Appends == 0 || h.JournalStats.ReplayRecords == 0 {
+		t.Fatalf("journal counters flat after harness: %+v", h.JournalStats)
+	}
+}

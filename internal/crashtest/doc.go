@@ -1,0 +1,34 @@
+// Package crashtest is the kill-9 recovery harness for the hdsamplerd
+// daemon: the end-to-end proof behind internal/jobq's durability claims.
+//
+// The harness (crash_test.go) builds the real hdsamplerd binary, points
+// it at an in-process webform target, submits jobs, and then repeatedly
+// SIGKILLs the daemon at randomized points mid-job — including while the
+// journal is compacting (-journal-compact-every is set aggressively low)
+// — and restarts it over the same journal, data, and history
+// directories. After every restart it asserts the crash-safety contract:
+//
+//   - No admitted job is lost: every job acknowledged before the kill is
+//     listed after the restart, terminal jobs with their final stats and
+//     loadable sample sets.
+//   - Interrupted jobs requeue and resume under a new lease epoch; the
+//     epoch observed after each restart never decreases.
+//   - Replayed progress is monotone: the accepted-sample and
+//     interface-query floors recovered from the journal never regress
+//     across restarts (un-checkpointed tail progress may be redone, but
+//     acknowledged accounting never moves backwards).
+//   - Resumed jobs converge: the long job eventually completes with
+//     exactly the requested number of samples — the checkpointed base and
+//     the resumed draws compose without loss or double-folding — and its
+//     final query bill covers every journaled floor.
+//   - Recovery does not bias the sample: the completed job's samples,
+//     accumulated across many crash epochs, pass a chi-square test
+//     against the exact walk-selection distribution.
+//
+// Knobs (environment variables, for CI short/nightly-long splits):
+//
+//	CRASH_CYCLES  kill/restart cycles (default 20)
+//	CRASH_SEED    seed for the randomized kill timing (default 1)
+//	CRASH_DIR     artifact directory kept after the run: daemon logs,
+//	              journal, data and history dirs (default: test temp dir)
+package crashtest

@@ -1,0 +1,73 @@
+// Package jobq is the crash-safe durability layer under the job
+// service: an append-only, fsync-on-commit job journal with lease/epoch
+// fencing, built so a SIGKILLed daemon loses no admitted job, no
+// journaled progress, and no query budget already spent against a
+// per-host politeness allowance.
+//
+// # Record format
+//
+// The journal is a log of JSON records, each wrapped in an 8-byte frame:
+// a 4-byte little-endian payload length and a 4-byte CRC-32C of the
+// payload. Four ops rebuild the job table:
+//
+//   - admit — a job was accepted (opaque spec; logged before the
+//     submission is acknowledged, so an acked job is always durable)
+//   - lease — a run started; carries the new epoch (see below)
+//   - ckpt  — a mid-run progress checkpoint: cumulative stats (the
+//     monotone query bill), per-candidate query bills, and the opaque
+//     accepted-sample payload
+//   - term  — the terminal transition: state, the on-disk sample-set
+//     checkpoint pointer, the error message, final stats
+//
+// Every append is applied to the in-memory table first (fencing — see
+// below — rejects bad writers before anything reaches disk), then
+// framed, written, and fsynced; only then does the append return. A
+// record on disk is therefore a record that was acknowledged, and replay
+// order equals commit order.
+//
+// # Torn-tail-tolerant replay
+//
+// Open replays the newest readable snapshot plus every later segment.
+// A frame whose length overruns the file, whose CRC mismatches, or
+// whose payload fails to parse marks the torn tail — the partial write
+// of the append that was in flight when the process died. Replay keeps
+// everything before it, truncates the segment to the valid prefix, and
+// reports Replay.Torn. Nothing after a tear can be an acknowledged
+// record, so cutting it loses no committed state.
+//
+// # Leases and epoch fencing
+//
+// Each run of a job holds a lease with an epoch: 0 before the first
+// run, bumped by one on every Lease call (the initial start and each
+// post-crash requeue). Checkpoint and terminal appends carry the
+// writer's epoch and are rejected with ErrStaleEpoch when it is not the
+// job's current epoch — so a zombie worker's late flush can never
+// corrupt the state of a job that was requeued and resumed under a new
+// lease. The same check runs during replay (defensively, counted in
+// Replay.Fenced). The epoch scheme is deliberately node-agnostic: a
+// coordinator handing leases to remote workers can adopt it unchanged.
+//
+// # Compaction
+//
+// Compact (automatic every Options.CompactEvery records) writes the
+// whole job table as snap-<seq+1>.json (temp file + fsync + rename +
+// directory fsync), switches appends to a fresh seg-<seq+1>.wal, and
+// prunes the superseded pair. A crash at any point leaves the old pair,
+// the new pair, or both — replay adopts the newest readable snapshot
+// and ignores strays, so compaction is crash-atomic end to end.
+//
+// # Degradation policy
+//
+// A disk failure (write, fsync, compaction) flips the journal to
+// memory-only mode instead of failing the daemon's jobs: appends keep
+// updating the table and return nil, Stats.Degraded turns true, and one
+// loud error is logged. The owner surfaces the flag on /healthz and
+// /metrics; durability is gone until restart, job execution is not.
+// Fencing errors are correctness signals, not disk failures, and always
+// surface.
+//
+// The FS indirection exists so tests can inject deterministic disk
+// faults (short writes, fsync errors, ENOSPC) at every operation index
+// and replay each failure point — internal/faultform's philosophy
+// applied to disk.
+package jobq

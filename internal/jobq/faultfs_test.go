@@ -1,0 +1,209 @@
+package jobq
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// ackLog records which journal operations returned success while the
+// journal was still durable (not degraded). The crash-safety contract:
+// every op acked while durable must survive a crash + clean reopen; ops
+// acked after degradation are memory-only by design and must NOT be
+// required (or allowed to half-appear as torn garbage that breaks the
+// durable prefix).
+type ackLog struct {
+	admits map[string]bool
+	epochs map[string]int64 // highest durably-acked lease epoch
+	ckpts  map[string]int64 // Queries of latest durably-acked checkpoint
+	terms  map[string]string
+}
+
+// script drives a fixed op sequence against j, recording durable acks.
+// It exercises every record kind plus an explicit compaction.
+func script(t *testing.T, j *Journal) *ackLog {
+	t.Helper()
+	acks := &ackLog{
+		admits: make(map[string]bool),
+		epochs: make(map[string]int64),
+		ckpts:  make(map[string]int64),
+		terms:  make(map[string]string),
+	}
+	durable := func() bool { return !j.Stats().Degraded }
+
+	spec := json.RawMessage(`{"n":5}`)
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("j-%04d", i)
+		if err := j.Admit(id, spec, time.Now().UTC()); err == nil && durable() {
+			acks.admits[id] = true
+		}
+		ep, err := j.Lease(id)
+		if err == nil && durable() {
+			acks.epochs[id] = ep
+		}
+		if err == nil {
+			q := int64(10 * i)
+			if cerr := j.Checkpoint(id, ep, &Checkpoint{Accepted: int64(i), Queries: q}); cerr == nil && durable() {
+				acks.ckpts[id] = q
+			}
+		}
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact returned error (should degrade instead): %v", err)
+	}
+	// Post-compaction appends: a terminal and one more full job. The
+	// j-0001 lease always succeeded (the table is live even degraded),
+	// so its epoch is 1 regardless of durability.
+	if err := j.Terminal("j-0001", 1, "completed", "j-0001.json", "", &Checkpoint{Accepted: 1, Queries: 10}); err == nil && durable() {
+		acks.terms["j-0001"] = "completed"
+	}
+	if err := j.Admit("j-0004", spec, time.Now().UTC()); err == nil && durable() {
+		acks.admits["j-0004"] = true
+	}
+	return acks
+}
+
+// verify reopens dir with the clean OS filesystem and checks the
+// durable-ack invariants against the replayed table.
+func verify(t *testing.T, dir string, acks *ackLog, label string) {
+	t.Helper()
+	j, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("%s: clean reopen failed: %v", label, err)
+	}
+	defer j.Close()
+	for id := range acks.admits {
+		if jobByID(rep, id) == nil {
+			t.Errorf("%s: durably acked admit %s lost", label, id)
+		}
+	}
+	for id, ep := range acks.epochs {
+		jr := jobByID(rep, id)
+		if jr == nil {
+			t.Errorf("%s: leased job %s lost", label, id)
+			continue
+		}
+		if jr.Epoch < ep {
+			t.Errorf("%s: %s epoch %d < durably acked %d", label, id, jr.Epoch, ep)
+		}
+	}
+	for id, q := range acks.ckpts {
+		jr := jobByID(rep, id)
+		if jr == nil || jr.Ckpt == nil {
+			t.Errorf("%s: durably acked checkpoint on %s lost", label, id)
+			continue
+		}
+		if jr.Ckpt.Queries < q {
+			t.Errorf("%s: %s checkpoint queries %d < durably acked %d (bill regressed)",
+				label, id, jr.Ckpt.Queries, q)
+		}
+	}
+	for id, state := range acks.terms {
+		jr := jobByID(rep, id)
+		if jr == nil || jr.Terminal == nil || jr.Terminal.State != state {
+			t.Errorf("%s: durably acked terminal %s=%s lost (got %+v)", label, id, state, jr)
+		}
+	}
+}
+
+// TestFaultSweep replays every injected failure point of the scripted
+// commit + compaction sequence, for every fault kind, and asserts the
+// acked-implies-durable contract after a simulated crash (reopen with
+// the real filesystem).
+func TestFaultSweep(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind FaultKind
+	}{
+		{"eio", FaultErr},
+		{"enospc", FaultENOSPC},
+		{"shortwrite", FaultShortWrite},
+	}
+
+	// First count the script's total mutating ops on a clean run.
+	countDir := t.TempDir()
+	counter := NewFaultFS(OSFS, -1, FaultErr)
+	jc, _, err := Open(countDir, Options{FS: counter, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script(t, jc)
+	jc.Close()
+	totalOps := counter.Ops()
+	if totalOps < 10 {
+		t.Fatalf("script only produced %d mutating ops; sweep would be vacuous", totalOps)
+	}
+
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			base := t.TempDir()
+			for fail := int64(0); fail < totalOps; fail++ {
+				dir := filepath.Join(base, fmt.Sprintf("f%03d", fail))
+				ffs := NewFaultFS(OSFS, fail, k.kind)
+				j, _, err := Open(dir, Options{FS: ffs, CompactEvery: -1})
+				if err != nil {
+					// Fault hit journal creation itself: nothing was acked,
+					// nothing to verify.
+					continue
+				}
+				acks := script(t, j)
+				// Simulate SIGKILL: drop the handle without Close's final
+				// sync (Close would mask an unsynced tail).
+				label := fmt.Sprintf("%s failAt=%d", k.name, fail)
+				verify(t, dir, acks, label)
+				j.Close()
+			}
+		})
+	}
+}
+
+// TestFaultShortWriteTornFrame pins the torn-frame path end to end: a
+// short write mid-append leaves a partial frame on disk, the journal
+// degrades, and reopen salvages the durable prefix with Torn reported.
+func TestFaultShortWriteTornFrame(t *testing.T) {
+	// Count Open's mutating ops so the fault lands exactly on the second
+	// append's segment write (each fsynced append costs write + sync).
+	probeDir := t.TempDir()
+	probe := NewFaultFS(OSFS, -1, FaultShortWrite)
+	jp, _, err := Open(probeDir, Options{FS: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	openOps := probe.Ops()
+	jp.Close()
+
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS, openOps+2, FaultShortWrite)
+	j, _, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit("j-0001", nil, time.Now().UTC()); err != nil {
+		t.Fatal(err)
+	}
+	if j.Stats().Degraded {
+		t.Fatal("fault tripped too early: first admit should be durable")
+	}
+	if err := j.Admit("j-0002", nil, time.Now().UTC()); err != nil {
+		t.Fatalf("short write must degrade, not fail the caller: %v", err)
+	}
+	if !j.Stats().Degraded {
+		t.Fatal("short write did not degrade the journal")
+	}
+	j.Close()
+
+	j2, rep := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if !rep.Torn {
+		t.Fatal("half-written frame not reported as torn tail")
+	}
+	if jobByID(rep, "j-0001") == nil {
+		t.Fatal("durable first admit lost after torn tail")
+	}
+	// The half-written frame must not replay as a phantom record.
+	if jobByID(rep, "j-0002") != nil {
+		t.Fatal("half-written admit replayed as a record")
+	}
+}

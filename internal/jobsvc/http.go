@@ -18,7 +18,10 @@ import (
 //	GET    /jobs/{id}/samples the job's samples as a store.SampleSet
 //	GET    /metrics           service counters (Prometheus text format)
 //	GET    /debug/walks       sampled end-to-end walk traces (JSON)
-//	GET    /healthz           liveness probe
+//	GET    /healthz           liveness + durability health (JSON; always
+//	                          200 while the process serves — a degraded
+//	                          journal is alarming, not fatal)
+//	GET    /readyz            readiness probe (503 while draining)
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -92,8 +95,15 @@ func NewHandler(m *Manager) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		writeJSON(w, http.StatusOK, m.Health())
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := m.Health()
+		if h.Draining {
+			writeJSON(w, http.StatusServiceUnavailable, h)
+			return
+		}
+		writeJSON(w, http.StatusOK, h)
 	})
 	return mux
 }

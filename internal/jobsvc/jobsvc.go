@@ -163,6 +163,10 @@ type View struct {
 	Error string `json:"error,omitempty"`
 	// Checkpoint is the on-disk sample set path once persisted.
 	Checkpoint string `json:"checkpoint,omitempty"`
+	// Epoch is the job's journal lease epoch: 0 before the first run, 1
+	// for a normal run, higher after each crash-recovery resume. Always 0
+	// when the daemon runs without a journal.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Errors the Manager returns; the HTTP layer maps them to status codes.

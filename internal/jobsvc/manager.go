@@ -1,7 +1,9 @@
 package jobsvc
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -19,6 +21,7 @@ import (
 	"hdsampler/internal/faultform"
 	"hdsampler/internal/formclient"
 	"hdsampler/internal/history"
+	"hdsampler/internal/jobq"
 	"hdsampler/internal/metrics"
 	"hdsampler/internal/queryexec"
 	"hdsampler/internal/store"
@@ -57,10 +60,27 @@ type Config struct {
 	// (0 = unlimited).
 	CacheMaxEntries int
 	// HistoryDir, when set, checkpoints each shared per-host history
-	// cache there on shutdown and warm-starts new caches from matching
-	// checkpoints, so a restarted daemon does not re-pay query bills the
-	// previous run already paid. Empty disables history persistence.
+	// cache there on shutdown (and periodically, piggybacked on journal
+	// checkpoints) and warm-starts new caches from matching checkpoints,
+	// so a restarted daemon does not re-pay query bills the previous run
+	// already paid. Empty disables history persistence.
 	HistoryDir string
+	// JournalDir, when set, enables the crash-safe job journal: every
+	// admission is fsynced before Submit acknowledges it, running jobs
+	// checkpoint progress under a lease epoch, and a restarted manager
+	// replays the journal — terminal jobs reappear in the table, and
+	// interrupted jobs are requeued and resumed under a fresh epoch.
+	// A journal disk failure degrades the manager to memory-only
+	// operation (surfaced on Health and /metrics), never fails jobs.
+	// Empty disables durability.
+	JournalDir string
+	// CheckpointEvery is the interval between mid-run progress
+	// checkpoints journaled for each running job (default 2s; negative
+	// disables mid-run checkpoints, leaving admission/terminal records).
+	CheckpointEvery time.Duration
+	// JournalCompactEvery overrides the journal's snapshot+truncate
+	// compaction cadence in records (0 = jobq default).
+	JournalCompactEvery int
 	// FaultProfile, when naming a faultform preset other than "none",
 	// wraps every target connector in that adversarial profile — the
 	// daemon's chaos/staging mode: jobs run against a deliberately
@@ -122,6 +142,18 @@ type Manager struct {
 	walkHist  *telemetry.HistogramVec // whole-walk duration by job
 	slowWalks *telemetry.Counter
 
+	// journal is the crash-safe job journal (nil without JournalDir);
+	// journalBroken records a journal that failed to open at startup, so
+	// health can say "durability configured but unavailable".
+	journal       *jobq.Journal
+	journalBroken bool
+
+	// histMu throttles the periodic history dumps piggybacked on journal
+	// checkpoints (dumpHistory walks every cache; once per few seconds is
+	// plenty for a kill-9 warm start).
+	histMu       sync.Mutex
+	lastHistDump time.Time
+
 	mu     sync.Mutex
 	seq    int
 	jobs   map[string]*job
@@ -171,11 +203,24 @@ type job struct {
 	cancel context.CancelFunc
 	cache  *history.Cache // shared per-host cache this job draws through (nil with NoHistory)
 
+	// Journal-replay base: progress a previous run (earlier lease epoch)
+	// already paid for, adopted at restore time and folded into every
+	// view, checkpoint and the terminal sample set. Written only before
+	// the run goroutine starts, so reads need no lock.
+	resumed     bool
+	baseStats   hdsampler.Stats
+	baseSchema  *hdsampler.Schema
+	baseTuples  []hdsampler.Tuple
+	baseReaches []float64
+	baseBills   []int64
+	baseC       float64
+
 	mu         sync.Mutex
 	state      State
 	created    time.Time
 	started    time.Time
 	finished   time.Time
+	epoch      int64 // current journal lease epoch (0 = never leased)
 	rs         *hdsampler.ReplicaSet
 	crawler    *core.Crawler
 	savedAt0   int64
@@ -186,10 +231,17 @@ type job struct {
 	cancelled  bool
 }
 
-// NewManager builds a manager; call Shutdown before discarding it.
+// NewManager builds a manager; call Shutdown before discarding it. With
+// JournalDir set it replays the journal first: terminal jobs reappear in
+// the table and interrupted jobs are requeued under a fresh lease epoch.
+// A journal that cannot open degrades the manager to memory-only
+// operation (loudly) rather than failing construction.
 func NewManager(cfg Config) *Manager {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 2 * time.Second
 	}
 	m := &Manager{
 		cfg:   cfg,
@@ -204,7 +256,25 @@ func NewManager(cfg Config) *Manager {
 		Seed:     cfg.TraceSeed,
 		Capacity: cfg.TraceCapacity,
 	})
+	var replay *jobq.Replay
+	if cfg.JournalDir != "" {
+		jr, rep, err := jobq.Open(cfg.JournalDir, jobq.Options{
+			CompactEvery: cfg.JournalCompactEvery,
+			Logger:       m.lg,
+		})
+		if err != nil {
+			m.journalBroken = true
+			m.lg.Error("job journal unavailable; running without durability",
+				"dir", cfg.JournalDir, "error", err)
+		} else {
+			m.journal = jr
+			replay = rep
+		}
+	}
 	m.registerMetrics()
+	if replay != nil {
+		m.restore(replay)
+	}
 	return m
 }
 
@@ -215,7 +285,9 @@ func (m *Manager) Registry() *telemetry.Registry { return m.reg }
 func (m *Manager) Tracer() *telemetry.Tracer { return m.tracer }
 
 // Submit validates and enqueues a job, returning its initial view. The
-// job starts as soon as a run slot frees up.
+// job starts as soon as a run slot frees up. With a journal configured,
+// the admission is fsynced before Submit returns: an acknowledged job
+// survives SIGKILL.
 func (m *Manager) Submit(spec Spec) (View, error) {
 	u, err := spec.normalize()
 	if err != nil {
@@ -228,17 +300,38 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		return View{}, ErrShuttingDown
 	}
 	host := m.hostLocked(u.Host)
+	m.seq++
+	id := fmt.Sprintf("j-%04d", m.seq)
 	m.mu.Unlock()
+
+	// Journal the admission before acknowledging it — outside m.mu, the
+	// fsync must not serialize the whole job table. Disk failures degrade
+	// the journal internally (Admit still returns nil); the only real
+	// error here is a closed journal racing shutdown.
+	created := time.Now().UTC()
+	if m.journal != nil {
+		specJSON, jerr := json.Marshal(spec)
+		if jerr == nil {
+			jerr = m.journal.Admit(id, specJSON, created)
+		}
+		if jerr != nil {
+			if errors.Is(jerr, jobq.ErrClosed) {
+				return View{}, ErrShuttingDown
+			}
+			m.lg.Warn("journal admit failed", "job", id, "error", jerr)
+		}
+	}
 
 	// Assemble the connector stack before publishing the job, so every
 	// field concurrent view() calls read is in place first.
 	conn, cache := host.connFor(spec, m.cfg)
 	j := &job{
+		id:      id,
 		spec:    spec,
 		host:    u.Host,
 		cache:   cache,
 		state:   StateQueued,
-		created: time.Now().UTC(),
+		created: created,
 	}
 	//hdlint:ignore ctxflow a job outlives the submitting request; its lifetime is bounded by cancel via Stop/Close, not by any caller context
 	j.ctx, j.cancel = context.WithCancel(context.Background())
@@ -246,10 +339,16 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		// The admission is already journaled; record the cancellation so
+		// a restart does not resurrect a job the caller was refused.
+		j.cancel()
+		if m.journal != nil {
+			if jerr := m.journal.Terminal(id, 0, string(StateCanceled), "", "shutdown before start", nil); jerr != nil {
+				m.lg.Warn("journal terminal append failed", "job", id, "error", jerr)
+			}
+		}
 		return View{}, ErrShuttingDown
 	}
-	m.seq++
-	j.id = fmt.Sprintf("j-%04d", m.seq)
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.wg.Add(1)
@@ -257,6 +356,152 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 
 	go m.run(j, conn)
 	return j.view(), nil
+}
+
+// seqOf parses the numeric suffix of a job ID ("j-0042" → 42, ok).
+func seqOf(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "j-%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// restore rebuilds the job table from a journal replay: terminal jobs
+// come back as read-only table entries (their sample sets lazy-load from
+// the checkpoint pointer), interrupted jobs — queued or running at the
+// crash — are requeued and resumed under a fresh lease epoch. Runs
+// during construction, before the manager is published.
+func (m *Manager) restore(rep *jobq.Replay) {
+	if rep.Torn || rep.Fenced > 0 {
+		m.lg.Warn("journal replay salvaged a crashed log",
+			"records", rep.Records, "torn_tail", rep.Torn, "fenced", rep.Fenced)
+	}
+	// Replay order is commit order; concurrent submits may have committed
+	// out of ID order, so re-sort for a stable table.
+	jobs := append([]*jobq.JobRecord(nil), rep.Jobs...)
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	for _, jr := range jobs {
+		if n, ok := seqOf(jr.ID); ok && n > m.seq {
+			m.seq = n
+		}
+		var spec Spec
+		if err := json.Unmarshal(jr.Spec, &spec); err != nil {
+			m.lg.Error("journaled job spec unreadable; job dropped", "job", jr.ID, "error", err)
+			continue
+		}
+		u, err := spec.normalize()
+		if err != nil {
+			m.lg.Error("journaled job spec invalid; job dropped", "job", jr.ID, "error", err)
+			continue
+		}
+
+		j := &job{
+			id:      jr.ID,
+			spec:    spec,
+			host:    u.Host,
+			created: jr.Created,
+			started: jr.Started,
+			epoch:   jr.Epoch,
+		}
+		if term := jr.Terminal; term != nil {
+			// Terminal jobs are inert table entries: no context, no conn.
+			j.state = State(term.State)
+			j.finished = term.At
+			j.checkpoint = term.Pointer
+			if term.Err != "" {
+				j.err = errors.New(term.Err)
+			}
+			if term.Stats != nil {
+				j.finalStats = statsFromCkpt(term.Stats)
+			}
+			j.cancel = func() {}
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+			continue
+		}
+
+		// Interrupted job: adopt its last progress checkpoint (samples
+		// already paid for resume for free) and requeue.
+		j.state = StateQueued
+		j.started = time.Time{}
+		if jr.Ckpt != nil && spec.Method != MethodCrawl {
+			j.adoptCheckpoint(jr.Ckpt, m.lg)
+		}
+		//hdlint:ignore ctxflow a requeued job outlives the restore; its lifetime is bounded by cancel via Cancel/Shutdown, not by any caller context
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+		host := m.hostLocked(u.Host)
+		conn, cache := host.connFor(spec, m.cfg)
+		j.cache = cache
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.wg.Add(1)
+		m.lg.Info("requeued interrupted job from journal",
+			"job", j.id, "epoch", jr.Epoch, "accepted_base", len(j.baseTuples))
+		go m.run(j, conn)
+	}
+}
+
+// adoptCheckpoint decodes a replayed progress checkpoint into the job's
+// resume base. The samples payload is authoritative: if it fails to
+// decode, the sample counts are dropped (the job redraws everything) but
+// the query bill is kept — the interface charges already happened, and
+// the accounting must stay monotone across restarts.
+func (j *job) adoptCheckpoint(ck *jobq.Checkpoint, lg *slog.Logger) {
+	j.resumed = true
+	j.baseStats = statsFromCkpt(ck)
+	j.baseBills = append([]int64(nil), ck.Bills...)
+	if len(ck.Samples) == 0 {
+		j.baseStats.Accepted = 0
+		return
+	}
+	set, err := store.Read(bytes.NewReader(ck.Samples))
+	var schema *hdsampler.Schema
+	var tuples []hdsampler.Tuple
+	var reaches []float64
+	if err == nil {
+		schema, err = set.DecodeSchema()
+	}
+	if err == nil {
+		tuples, reaches, err = set.DecodeSamples()
+	}
+	if err != nil {
+		lg.Warn("checkpoint samples unreadable; job will redraw, bill preserved",
+			"job", j.id, "error", err)
+		j.baseStats.Accepted = 0
+		j.baseBills = nil
+		return
+	}
+	j.baseSchema = schema
+	j.baseTuples = tuples
+	j.baseReaches = reaches
+	j.baseC = set.C
+	j.baseStats.Accepted = int64(len(tuples))
+}
+
+// ckptFromStats converts sampler stats into a journal checkpoint's
+// cumulative counters.
+func ckptFromStats(s hdsampler.Stats) *jobq.Checkpoint {
+	return &jobq.Checkpoint{
+		Accepted:       s.Accepted,
+		Candidates:     s.Candidates,
+		Rejected:       s.Rejected,
+		Queries:        s.Queries,
+		QueriesSaved:   s.QueriesSaved,
+		ElapsedSeconds: s.Elapsed.Seconds(),
+	}
+}
+
+// statsFromCkpt is the inverse of ckptFromStats.
+func statsFromCkpt(ck *jobq.Checkpoint) hdsampler.Stats {
+	return hdsampler.Stats{
+		Accepted:     ck.Accepted,
+		Candidates:   ck.Candidates,
+		Rejected:     ck.Rejected,
+		Queries:      ck.Queries,
+		QueriesSaved: ck.QueriesSaved,
+		Elapsed:      time.Duration(ck.ElapsedSeconds * float64(time.Second)),
+	}
 }
 
 // hostLocked returns (creating on first use) the entry for host; the
@@ -487,8 +732,32 @@ func (m *Manager) run(j *job, conn formclient.Conn) {
 	}
 	j.mu.Unlock()
 
+	// Take the run's lease epoch: every checkpoint and the terminal
+	// record carry it, so a zombie writer from a superseded run is fenced
+	// at the journal.
+	var epoch int64
+	if m.journal != nil {
+		ep, err := m.journal.Lease(j.id)
+		if err != nil {
+			m.lg.Warn("journal lease failed; job runs unfenced", "job", j.id, "error", err)
+		} else {
+			epoch = ep
+			j.mu.Lock()
+			j.epoch = ep
+			j.mu.Unlock()
+		}
+	}
+
 	if j.spec.Method == MethodCrawl {
 		m.runCrawl(j, conn)
+		return
+	}
+
+	// A resumed job draws only what its adopted checkpoint is missing.
+	remaining := j.spec.N - len(j.baseTuples)
+	if remaining <= 0 {
+		set, serr := j.sampleSet(j.baseSchema, j.baseSamples(), j.baseC, j.baseStats.Queries)
+		j.finish(m, set, hdsampler.Stats{}, serr)
 		return
 	}
 
@@ -526,6 +795,13 @@ func (m *Manager) run(j *job, conn formclient.Conn) {
 		cfg.Method = hdsampler.MethodCountWeighted
 		cfg.UseParentCount = j.spec.TrustCounts
 	}
+	if epoch > 1 {
+		// Resumed run: perturb the seed per epoch so the redraw explores
+		// fresh walk randomness instead of replaying the crashed run's
+		// prefix (which would re-pay its query bill walk for walk). The
+		// first run (epoch 1) keeps the spec seed exactly.
+		cfg.Seed = j.spec.Seed + (epoch-1)*1_000_003
+	}
 	rs, err := hdsampler.NewReplicaSet(j.ctx, conn, cfg, j.spec.Workers)
 	if err != nil {
 		j.finish(m, nil, hdsampler.Stats{}, err)
@@ -535,12 +811,128 @@ func (m *Manager) run(j *job, conn formclient.Conn) {
 	j.rs = rs
 	j.mu.Unlock()
 
-	_, stats, err := rs.Draw(j.ctx, j.spec.N)
-	set, serr := j.sampleSet(rs.Schema(), rs.Samples(), rs.C(), stats.Queries)
+	// Journal progress periodically while the pool draws. The loop stops
+	// (and is awaited) before finish, so no checkpoint can race the
+	// terminal record.
+	stop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	if m.journal != nil && m.cfg.CheckpointEvery > 0 {
+		go m.checkpointLoop(j, stop, ckptDone)
+	} else {
+		close(ckptDone)
+	}
+
+	_, stats, err := rs.Draw(j.ctx, remaining)
+	close(stop)
+	<-ckptDone
+	set, serr := j.sampleSet(rs.Schema(), j.cumulativeSamples(rs.Samples()), rs.C(), j.baseStats.Queries+stats.Queries)
 	if err == nil {
 		err = serr
 	}
 	j.finish(m, set, stats, err)
+}
+
+// baseSamples rebuilds the resume base as sampler samples.
+func (j *job) baseSamples() []hdsampler.Sample {
+	out := make([]hdsampler.Sample, len(j.baseTuples))
+	for i, t := range j.baseTuples {
+		out[i] = hdsampler.Sample{Tuple: t, Reach: j.baseReaches[i]}
+	}
+	return out
+}
+
+// cumulativeSamples prepends the resume base to a live sample snapshot.
+func (j *job) cumulativeSamples(live []hdsampler.Sample) []hdsampler.Sample {
+	if len(j.baseTuples) == 0 {
+		return live
+	}
+	return append(j.baseSamples(), live...)
+}
+
+// checkpointLoop journals the job's cumulative progress every
+// CheckpointEvery until stopped; done closes when the loop exits.
+func (m *Manager) checkpointLoop(j *job, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(m.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			m.checkpointOnce(j)
+		}
+	}
+}
+
+// checkpointOnce journals one cumulative progress checkpoint: resume
+// base plus live pool progress, the per-candidate query bills, and the
+// accepted samples as a serialized store.SampleSet.
+func (m *Manager) checkpointOnce(j *job) {
+	j.mu.Lock()
+	rs, epoch := j.rs, j.epoch
+	var saved int64
+	if j.cache != nil {
+		saved = j.cache.CacheStats().Saved() - j.savedAt0
+	}
+	j.mu.Unlock()
+	if rs == nil {
+		return
+	}
+	live := rs.Progress()
+	live.QueriesSaved = saved
+	samples := rs.Samples()
+
+	cum := j.baseStats
+	cum.Accepted += live.Accepted
+	cum.Candidates += live.Candidates
+	cum.Rejected += live.Rejected
+	cum.Queries += live.Queries
+	cum.QueriesSaved += live.QueriesSaved
+	cum.Elapsed += live.Elapsed
+	ck := ckptFromStats(cum)
+
+	ck.Bills = append(append([]int64(nil), j.baseBills...), make([]int64, len(samples))...)
+	for i, s := range samples {
+		ck.Bills[len(j.baseBills)+i] = int64(s.Queries)
+	}
+
+	set, err := j.sampleSet(rs.Schema(), j.cumulativeSamples(samples), rs.C(), cum.Queries)
+	if err != nil {
+		m.lg.Warn("progress checkpoint skipped: sample set", "job", j.id, "error", err)
+		return
+	}
+	if set != nil {
+		var buf bytes.Buffer
+		if err := set.Write(&buf); err != nil {
+			m.lg.Warn("progress checkpoint skipped: encode", "job", j.id, "error", err)
+			return
+		}
+		ck.Samples = buf.Bytes()
+	}
+	if err := m.journal.Checkpoint(j.id, epoch, ck); err != nil {
+		m.lg.Warn("progress checkpoint rejected", "job", j.id, "error", err)
+		return
+	}
+	// Piggyback a throttled history dump so the shared caches also
+	// survive kill-9, not just graceful shutdown.
+	m.maybeDumpHistory()
+}
+
+// maybeDumpHistory runs dumpHistory at most once per throttle window.
+func (m *Manager) maybeDumpHistory() {
+	if m.cfg.HistoryDir == "" {
+		return
+	}
+	const every = 5 * time.Second
+	m.histMu.Lock()
+	if time.Since(m.lastHistDump) < every {
+		m.histMu.Unlock()
+		return
+	}
+	m.lastHistDump = time.Now()
+	m.histMu.Unlock()
+	m.dumpHistory()
 }
 
 // runCrawl executes a full-extraction job.
@@ -592,11 +984,28 @@ func (j *job) sampleSet(schema *hdsampler.Schema, samples []hdsampler.Sample, c 
 	return store.New(j.spec.URL, j.spec.Method, c, schema, tuples, reaches, queries)
 }
 
-// finish records the terminal state and checkpoints the sample set.
+// finish records the terminal state, checkpoints the sample set and
+// journals the terminal transition.
 func (j *job) finish(m *Manager, set *store.SampleSet, stats hdsampler.Stats, err error) {
 	j.mu.Lock()
 	if j.cache != nil {
 		stats.QueriesSaved = j.cache.CacheStats().Saved() - j.savedAt0
+	}
+	if j.resumed {
+		// Fold in the progress an earlier epoch already paid for. The
+		// sample set (when the run produced one) is already cumulative;
+		// a run that died before producing a set keeps the base samples.
+		stats.Accepted += j.baseStats.Accepted
+		stats.Candidates += j.baseStats.Candidates
+		stats.Rejected += j.baseStats.Rejected
+		stats.Queries += j.baseStats.Queries
+		stats.QueriesSaved += j.baseStats.QueriesSaved
+		stats.Elapsed += j.baseStats.Elapsed
+		if set == nil && len(j.baseTuples) > 0 {
+			if base, berr := j.sampleSet(j.baseSchema, j.baseSamples(), j.baseC, j.baseStats.Queries); berr == nil {
+				set = base
+			}
+		}
 	}
 	j.finished = time.Now().UTC()
 	j.finalStats = stats
@@ -640,6 +1049,23 @@ func (j *job) finish(m *Manager, set *store.SampleSet, stats hdsampler.Stats, er
 		}
 		j.mu.Unlock()
 	}
+
+	// Journal the terminal transition (after persisting, so the record
+	// carries the checkpoint pointer). The journal mutex is a leaf: never
+	// called with j.mu or m.mu held.
+	if m.journal != nil {
+		j.mu.Lock()
+		state, ptr, epoch, fs := j.state, j.checkpoint, j.epoch, j.finalStats
+		var errMsg string
+		if j.err != nil {
+			errMsg = j.err.Error()
+		}
+		j.mu.Unlock()
+		if jerr := m.journal.Terminal(id, epoch, string(state), ptr, errMsg, ckptFromStats(fs)); jerr != nil {
+			m.lg.Warn("journal terminal append failed", "job", id, "error", jerr)
+		}
+	}
+	m.maybeDumpHistory()
 }
 
 // view snapshots the job, folding in live pool progress while running.
@@ -663,6 +1089,7 @@ func (j *job) view() View {
 		v.Error = j.err.Error()
 	}
 	v.Checkpoint = j.checkpoint
+	v.Epoch = j.epoch
 	rs, crawler := j.rs, j.crawler
 	terminal := j.state.Terminal()
 	stats := j.finalStats
@@ -677,11 +1104,25 @@ func (j *job) view() View {
 		if cache != nil {
 			stats.QueriesSaved = cache.CacheStats().Saved() - savedAt0
 		}
+		if j.resumed {
+			// Fold in the replayed base so a resumed job's live view never
+			// regresses below what the journal already committed.
+			stats.Accepted += j.baseStats.Accepted
+			stats.Candidates += j.baseStats.Candidates
+			stats.Rejected += j.baseStats.Rejected
+			stats.Queries += j.baseStats.Queries
+			stats.QueriesSaved += j.baseStats.QueriesSaved
+			stats.Elapsed += j.baseStats.Elapsed
+		}
 	case crawler != nil:
 		stats = hdsampler.Stats{Queries: crawler.Queries()}
 		if !started.IsZero() {
 			stats.Elapsed = time.Since(started)
 		}
+	case j.resumed:
+		// Requeued after a crash, not yet running: show the replayed base
+		// so the committed progress never disappears from the API.
+		stats = j.baseStats
 	}
 	v.Accepted = stats.Accepted
 	v.Candidates = stats.Candidates
@@ -751,8 +1192,24 @@ func (m *Manager) SampleSet(id string) (*store.SampleSet, error) {
 	j.mu.Lock()
 	set, rs := j.set, j.rs
 	terminal := j.state.Terminal()
+	ptr := j.checkpoint
 	j.mu.Unlock()
 	if terminal {
+		if set == nil && ptr != "" {
+			// A journal-restored terminal job keeps only the checkpoint
+			// pointer; load (and cache) the set on first request.
+			loaded, err := store.LoadFile(ptr)
+			if err != nil {
+				return nil, fmt.Errorf("jobsvc: load checkpoint %s: %w", ptr, err)
+			}
+			j.mu.Lock()
+			if j.set == nil {
+				j.set = loaded
+			}
+			set = j.set
+			j.mu.Unlock()
+			return set, nil
+		}
 		if set == nil {
 			return nil, ErrNoSamples
 		}
@@ -876,9 +1333,59 @@ func (m *Manager) Hosts() []HostStats {
 	return out
 }
 
+// Health summarizes the manager's durability state for /healthz.
+type Health struct {
+	// Status is "ok", or "degraded" when configured durability is not
+	// actually protecting jobs (journal failed to open or lost its disk).
+	Status string `json:"status"`
+	// Journal is "off" (no JournalDir), "ok", "degraded" (disk failure,
+	// memory-only since), or "unavailable" (failed to open at startup).
+	Journal string `json:"journal"`
+	// JournalStats carries the live journal counters when a journal is
+	// running.
+	JournalStats *jobq.Stats `json:"journal_stats,omitempty"`
+	// Jobs is the job-table size; Draining reports shutdown in progress.
+	Jobs     int  `json:"jobs"`
+	Draining bool `json:"draining"`
+}
+
+// Health reports the manager's durability health.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	jobs, closed := len(m.jobs), m.closed
+	m.mu.Unlock()
+	h := Health{Status: "ok", Journal: "off", Jobs: jobs, Draining: closed}
+	if m.journalBroken {
+		h.Status = "degraded"
+		h.Journal = "unavailable"
+	}
+	if m.journal != nil {
+		st := m.journal.Stats()
+		h.JournalStats = &st
+		if st.Degraded {
+			h.Status = "degraded"
+			h.Journal = "degraded"
+		} else {
+			h.Journal = "ok"
+		}
+	}
+	return h
+}
+
+// JournalStats snapshots the journal counters (zero value without a
+// journal), for /metrics.
+func (m *Manager) JournalStats() jobq.Stats {
+	if m.journal == nil {
+		return jobq.Stats{}
+	}
+	return m.journal.Stats()
+}
+
 // Shutdown stops accepting jobs, cancels everything queued or running and
 // waits (bounded by ctx) for the workers to drain; partial sample sets
-// are persisted by each job's normal finish path.
+// are persisted by each job's normal finish path, and each cancellation
+// is journaled as a terminal transition — a gracefully stopped job is
+// not requeued on restart, only a killed one is.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
@@ -900,14 +1407,23 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		m.dumpHistory()
-		return nil
 	case <-ctx.Done():
 		// Checkpoint what we can even on an overrun drain; Dump is safe
 		// while stragglers still write.
 		m.dumpHistory()
-		return fmt.Errorf("jobsvc: shutdown: %w", ctx.Err())
+		err = fmt.Errorf("jobsvc: shutdown: %w", ctx.Err())
 	}
+	if m.journal != nil {
+		// After the drain every terminal record is in; stragglers past an
+		// overrun deadline lose their terminal append (logged) and are
+		// requeued on restart — the safe direction.
+		if cerr := m.journal.Close(); cerr != nil {
+			m.lg.Warn("journal close", "error", cerr)
+		}
+	}
+	return err
 }

@@ -104,6 +104,32 @@ func (m *Manager) registerMetrics() {
 			}
 		})
 
+	// Job-journal durability counters. journal_degraded is the loud flag:
+	// 1 means configured durability is not protecting jobs right now
+	// (disk failure mid-run, or the journal never opened).
+	r.CounterFunc("hdsamplerd_journal_appends_total", "Records committed (written + fsynced) to the job journal.", func() float64 {
+		return float64(m.JournalStats().Appends)
+	})
+	r.CounterFunc("hdsamplerd_journal_fsyncs_total", "fsync calls issued by the job journal (segment and directory).", func() float64 {
+		return float64(m.JournalStats().Fsyncs)
+	})
+	r.CounterFunc("hdsamplerd_journal_compactions_total", "Snapshot+truncate compactions of the job journal.", func() float64 {
+		return float64(m.JournalStats().Compactions)
+	})
+	r.GaugeFunc("hdsamplerd_journal_replay_records", "Records replayed from the journal at the last daemon start.", func() float64 {
+		return float64(m.JournalStats().ReplayRecords)
+	})
+	r.GaugeFunc("hdsamplerd_journal_segment_bytes", "Active journal segment size.", func() float64 {
+		return float64(m.JournalStats().SegmentBytes)
+	})
+	r.GaugeFunc("hdsamplerd_journal_degraded", "1 when durability is configured but not working (journal degraded to memory-only or unavailable).", func() float64 {
+		h := m.Health()
+		if h.Journal == "degraded" || h.Journal == "unavailable" {
+			return 1
+		}
+		return 0
+	})
+
 	// Telemetry instruments: latency histograms plus tracing and slow-walk
 	// counters (the new observability surface).
 	m.wireHist = r.HistogramVec("hdsamplerd_host_wire_rtt_seconds",

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 
 	"hdsampler/internal/hiddendb"
@@ -212,17 +213,35 @@ func Read(r io.Reader) (*SampleSet, error) {
 	return &set, nil
 }
 
-// SaveFile writes the set to path (0644), creating or truncating it.
+// SaveFile writes the set to path crash-atomically: temp file in the
+// same directory, fsync, then rename. Readers (and a daemon replaying
+// its journal after SIGKILL) see either the old checkpoint or the new
+// one, never a torn half-write.
 func SaveFile(path string, set *SampleSet) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
 	if err := set.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads a set from path.

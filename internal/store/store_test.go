@@ -106,6 +106,47 @@ func TestRoundTripFile(t *testing.T) {
 	}
 }
 
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "samples.json")
+	small, _, _ := vehicleSet(t, 5, false)
+	big, _, _ := vehicleSet(t, 40, false)
+
+	// Overwriting a larger checkpoint with a smaller one must go through
+	// rename, never truncate-in-place: the old file stays intact until
+	// the new one is complete.
+	if err := SaveFile(path, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, small); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuples, _, _ := back.DecodeSamples(); len(tuples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(tuples))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file leaked: %s", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir has %d entries, want just the checkpoint", len(ents))
+	}
+
+	// A write into a missing directory fails without leaving debris.
+	if err := SaveFile(filepath.Join(dir, "nope", "x.json"), small); err == nil {
+		t.Fatal("save into missing dir should error")
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a, _, _ := vehicleSet(t, 10, false)
 	b, _, _ := vehicleSet(t, 15, false)

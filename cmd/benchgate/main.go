@@ -1,21 +1,35 @@
 // Command benchgate turns a benchmark comparison into a CI verdict: it
-// parses two `go test -bench` outputs (base branch vs head), compares the
-// median ns/op of named benchmarks, and fails when a benchmark regressed
-// beyond the threshold — unless the measurements are too noisy to trust,
-// in which case it downgrades to an advisory note (a flaky runner must
-// not block merges, but a real 15% walk-path regression must).
+// compares the median ns/op of named benchmarks between a base run and a
+// head run and fails when a benchmark regressed beyond the threshold —
+// unless the measurements are too noisy to trust, in which case it
+// downgrades to an advisory note (a flaky runner must not block merges,
+// but a real 15% walk-path regression must). A gated benchmark that is
+// missing from either side is always a hard failure: a silently skipped
+// or renamed benchmark would otherwise pass the gate forever.
 //
-// Usage:
+// The base side is either another `go test -bench` output (-base) or a
+// checked-in JSON baseline (-baseline, see BENCH_baseline.json at the
+// repo root). Baselines are maintained with the tool itself:
 //
-//	benchgate -base base.txt -head head.txt \
+//	# gate head.txt against the checked-in baseline
+//	benchgate -baseline BENCH_baseline.json -head head.txt \
 //	    -bench BenchmarkWalkEndToEnd,BenchmarkExecuteIntersect \
 //	    -threshold 15 -noise 10
 //
-// Exit status: 0 (pass or advisory), 1 (confident regression), 2 (usage).
+//	# refresh the baseline from a new measurement run
+//	benchgate -baseline BENCH_baseline.json -head head.txt \
+//	    -bench BenchmarkWalkEndToEnd,BenchmarkExecuteIntersect -update
+//
+//	# render the baseline as a markdown table (README "Benchmarks")
+//	benchgate -baseline BENCH_baseline.json -render
+//
+// Exit status: 0 (pass or advisory), 1 (confident regression or missing
+// gated benchmark), 2 (usage).
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,29 +38,81 @@ import (
 	"strings"
 )
 
+// baselineFile is the JSON schema of a checked-in baseline: raw ns/op
+// samples per benchmark (medians and spreads are recomputed at gate
+// time, so the gate and the render always agree with the data).
+type baselineFile struct {
+	// Note records how the samples were produced, for humans reading
+	// the diff when the file is regenerated.
+	Note       string               `json:"note,omitempty"`
+	Benchmarks map[string][]float64 `json:"benchmarks"`
+}
+
 func main() {
 	var (
-		baseF      = flag.String("base", "", "base-branch benchmark output file")
+		baseF      = flag.String("base", "", "base-branch benchmark output file (`go test -bench` text)")
+		baselineF  = flag.String("baseline", "", "checked-in JSON baseline file (alternative base side; also the -update/-render target)")
 		headF      = flag.String("head", "", "head benchmark output file")
 		benchF     = flag.String("bench", "", "comma-separated benchmark names to gate; a name also covers its sub-benchmarks (BenchmarkExecuteIntersect gates .../none and .../exact separately)")
 		thresholdF = flag.Float64("threshold", 15, "fail when median ns/op regresses more than this percentage")
 		noiseF     = flag.Float64("noise", 10, "advisory-only when either side's relative spread exceeds this percentage")
 		minN       = flag.Int("min-samples", 3, "advisory-only when either side has fewer samples than this")
+		updateF    = flag.Bool("update", false, "rewrite -baseline from the -head samples (filtered to -bench when given) instead of gating")
+		renderF    = flag.Bool("render", false, "print -baseline as a markdown table and exit")
+		noteF      = flag.String("note", "", "provenance note stored in the baseline on -update")
 	)
 	flag.Parse()
-	if *baseF == "" || *headF == "" || *benchF == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -base, -head and -bench are required")
-		os.Exit(2)
+	if *renderF {
+		if *baselineF == "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -render requires -baseline")
+			os.Exit(2)
+		}
+		bl, err := loadBaseline(*baselineF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		renderMarkdown(os.Stdout, bl)
+		return
 	}
-	base, err := parseFile(*baseF)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	if *headF == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -head is required")
 		os.Exit(2)
 	}
 	head, err := parseFile(*headF)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
+	}
+	if *updateF {
+		if *baselineF == "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -update requires -baseline")
+			os.Exit(2)
+		}
+		if err := writeBaseline(*baselineF, head, *benchF, *noteF); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if (*baseF == "") == (*baselineF == "") || *benchF == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -base/-baseline, plus -head and -bench, are required")
+		os.Exit(2)
+	}
+	var base map[string][]float64
+	if *baselineF != "" {
+		bl, err := loadBaseline(*baselineF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		base = bl.Benchmarks
+	} else {
+		base, err = parseFile(*baseF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	failed := 0
 	for _, name := range strings.Split(*benchF, ",") {
@@ -60,9 +126,7 @@ func main() {
 		// magnitudes into one median would hide regressions in the mix.
 		keys := expand(name, base, head)
 		if len(keys) == 0 {
-			v := verdict(name, nil, nil, *thresholdF, *noiseF, *minN)
-			fmt.Println(v.String())
-			continue
+			keys = []string{name}
 		}
 		for _, key := range keys {
 			v := verdict(key, base[key], head[key], *thresholdF, *noiseF, *minN)
@@ -73,8 +137,85 @@ func main() {
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed beyond %.0f%%\n", failed, *thresholdF)
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed or went missing\n", failed)
 		os.Exit(1)
+	}
+}
+
+// loadBaseline reads and validates a JSON baseline.
+func loadBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bl baselineFile
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bl.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: baseline has no benchmarks", path)
+	}
+	return &bl, nil
+}
+
+// writeBaseline filters head's samples to the gated names (all of head
+// when names is empty) and rewrites the baseline file.
+func writeBaseline(path string, head map[string][]float64, names, note string) error {
+	keep := head
+	if names != "" {
+		keep = make(map[string][]float64)
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			keys := expand(name, head, nil)
+			if len(keys) == 0 {
+				return fmt.Errorf("-update: gated benchmark %s has no samples in %d parsed head benchmarks", name, len(head))
+			}
+			for _, key := range keys {
+				keep[key] = head[key]
+			}
+		}
+	}
+	bl := baselineFile{Note: note, Benchmarks: keep}
+	data, err := json.MarshalIndent(&bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// renderMarkdown prints the baseline as the README's benchmark table.
+func renderMarkdown(w *os.File, bl *baselineFile) {
+	keys := make([]string, 0, len(bl.Benchmarks))
+	for key := range bl.Benchmarks {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, "| Benchmark | median | spread | samples |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	for _, key := range keys {
+		s := bl.Benchmarks[key]
+		fmt.Fprintf(w, "| %s | %s | ±%.1f%% | %d |\n",
+			strings.TrimPrefix(key, "Benchmark"), formatNs(median(s)), spread(s), len(s))
+	}
+	if bl.Note != "" {
+		fmt.Fprintf(w, "\n%s\n", bl.Note)
+	}
+}
+
+// formatNs renders a ns/op median with a human-scaled unit.
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
 	}
 }
 
@@ -165,12 +306,15 @@ func (r result) String() string {
 }
 
 // verdict gates one benchmark: a confident regression beyond threshold%
-// fails; noisy or missing data downgrades to advisory.
+// fails; noisy data downgrades to advisory. A gated benchmark missing
+// from either side is a hard failure, not an advisory — a deleted,
+// renamed, or silently skipped benchmark must not pass the gate (refresh
+// the baseline with -update after intentional changes).
 func verdict(name string, base, head []float64, threshold, noise float64, minSamples int) result {
 	r := result{name: name}
 	if len(base) == 0 || len(head) == 0 {
-		r.advisory = true
-		r.note = fmt.Sprintf("missing samples (base %d, head %d); not gated", len(base), len(head))
+		r.fail = true
+		r.note = fmt.Sprintf("missing samples (base %d, head %d) — gated benchmarks must exist in both runs; refresh the baseline with -update if this rename/removal is intentional", len(base), len(head))
 		return r
 	}
 	mb, mh := median(base), median(head)

@@ -44,8 +44,12 @@ func TestVerdicts(t *testing.T) {
 		{"noisy head downgrades", stable(3000), []float64{3000, 6000, 2000, 4000}, false, true},
 		{"noisy base downgrades", []float64{1000, 4000, 2500, 5000}, stable(6000), false, true},
 		{"too few samples", []float64{3000, 3001}, stable(4500), false, true},
-		{"missing base", nil, stable(3000), false, true},
-		{"missing head", stable(3000), nil, false, true},
+		// Missing samples on either side are a hard failure, never an
+		// advisory pass: a deleted or silently skipped benchmark must not
+		// sail through the gate.
+		{"missing base", nil, stable(3000), true, false},
+		{"missing head", stable(3000), nil, true, false},
+		{"missing both", nil, nil, true, false},
 	}
 	for _, c := range cases {
 		v := verdict("BenchmarkX", c.base, c.head, 15, 10, 3)
@@ -76,6 +80,42 @@ func TestExpandCoversSubBenchmarks(t *testing.T) {
 	}
 	if got := expand("BenchmarkMissing", base, head); len(got) != 0 {
 		t.Fatalf("missing benchmark expand = %v, want empty", got)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_baseline.json")
+	head := map[string][]float64{
+		"BenchmarkWalkEndToEnd":           {3052, 3010, 3100},
+		"BenchmarkExecuteIntersect/none":  {5000, 5100, 4950},
+		"BenchmarkExecuteIntersect/exact": {19000, 19500, 18800},
+		"BenchmarkUnrelated":              {1},
+	}
+	if err := writeBaseline(path, head, "BenchmarkWalkEndToEnd,BenchmarkExecuteIntersect", "test note"); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Note != "test note" {
+		t.Fatalf("note %q", bl.Note)
+	}
+	if len(bl.Benchmarks) != 3 {
+		t.Fatalf("baseline kept %d benchmarks, want 3 (gate-filtered): %v", len(bl.Benchmarks), bl.Benchmarks)
+	}
+	if _, ok := bl.Benchmarks["BenchmarkUnrelated"]; ok {
+		t.Fatal("ungated benchmark leaked into the baseline")
+	}
+	if m := median(bl.Benchmarks["BenchmarkWalkEndToEnd"]); m != 3052 {
+		t.Fatalf("round-tripped median %g, want 3052", m)
+	}
+	// Updating with a gate name that has no samples must fail loudly —
+	// an -update that silently drops a gated benchmark would let the
+	// missing-name hard failure pass on the next run.
+	if err := writeBaseline(path, head, "BenchmarkNoSuchThing", ""); err == nil {
+		t.Fatal("writeBaseline accepted a gate name with no samples")
 	}
 }
 

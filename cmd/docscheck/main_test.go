@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPackageComments(t *testing.T) {
+	root := t.TempDir()
+	// documented: doc comment in one of two files.
+	write(t, filepath.Join(root, "good", "impl.go"), "package good\n\nvar X = 1\n")
+	write(t, filepath.Join(root, "good", "doc.go"), "// Package good is documented.\npackage good\n")
+	// undocumented: a detached comment does not count.
+	write(t, filepath.Join(root, "bad", "bad.go"), "// floating comment\n\npackage bad\n")
+	// test-only doc comments do not count either.
+	write(t, filepath.Join(root, "testdoc", "impl.go"), "package testdoc\n")
+	write(t, filepath.Join(root, "testdoc", "doc_test.go"), "// Package testdoc looks documented only in tests.\npackage testdoc\n")
+	// skipped trees are not scanned.
+	write(t, filepath.Join(root, "testdata", "ignored.go"), "package ignored\n")
+
+	findings, err := checkPackageComments(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want exactly bad/ and testdoc/", findings)
+	}
+	if !strings.Contains(findings[0], "bad") || !strings.Contains(findings[1], "testdoc") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "exists.md"), "target\n")
+	write(t, filepath.Join(root, "sub", "file.go"), "package sub\n")
+	doc := filepath.Join(root, "DOC.md")
+	write(t, doc, strings.Join([]string{
+		"[ok file](exists.md)",
+		"[ok dir](sub)",
+		"[ok fragment](exists.md#section)",
+		"[pure fragment](#local)",
+		"[external](https://example.com/missing)",
+		"[web-ui path](../../actions/workflows/ci.yml)",
+		"[broken](missing.md) and [also broken](sub/missing.go)",
+	}, "\n"))
+	findings, err := checkLinks(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want the two broken links", findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f, "DOC.md:7") {
+			t.Fatalf("finding %q should point at line 7", f)
+		}
+	}
+}
+
+// TestRepoIsClean runs the checks the CI docs job runs, against this
+// repository itself: every package documented, every relative link in
+// the top-level docs resolving.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	findings, err := checkPackageComments(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md"} {
+		fs, err := checkLinks(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("repo documentation findings:\n%s", strings.Join(findings, "\n"))
+	}
+}

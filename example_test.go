@@ -1,8 +1,10 @@
 package hdsampler_test
 
-// Compile-checked documentation examples for the public API. These are not
-// executed (no Output comments — sampling output is statistical), but godoc
-// renders them and the compiler keeps them honest.
+// Documentation examples for the public API. The ones with Output
+// comments run under go test against in-process simulated databases
+// (sample counts are deterministic: Draw returns exactly n accepted
+// samples); the rest are compile-checked and rendered by godoc, their
+// output being statistical.
 
 import (
 	"context"
@@ -56,6 +58,55 @@ func ExampleNew_localSimulation() {
 		log.Fatal(err)
 	}
 	fmt.Println(len(samples))
+}
+
+// ExampleSampler_Draw draws a fixed number of near-uniform samples from
+// an in-process hidden database and reports what the walk cost. It runs
+// under go test: every piece — dataset, walk, rejection — is seeded, so
+// the draw is reproducible.
+func ExampleSampler_Draw() {
+	ds := datagen.Vehicles(20000, 7)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	s, err := hdsampler.New(ctx, hdsampler.LocalConn(db), hdsampler.Config{
+		Seed: 42, UseHistory: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, stats, err := s.Draw(ctx, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accepted %d of %d requested; every sample schema-wide: %v\n",
+		stats.Accepted, len(samples), len(samples[0].Vals) == len(s.Schema().Attrs))
+	// Output:
+	// accepted 50 of 50 requested; every sample schema-wide: true
+}
+
+// ExampleDrawParallel fans a draw out over independent sampler replicas
+// sharing one history cache — the way to exploit a site that tolerates
+// concurrent clients. It runs under go test; the combined sample is a
+// fair mixture of the replicas' independent streams.
+func ExampleDrawParallel() {
+	ds := datagen.Vehicles(20000, 7)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	samples, stats, err := hdsampler.DrawParallel(ctx, hdsampler.LocalConn(db), hdsampler.Config{
+		Seed: 42, UseHistory: true,
+	}, 80, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accepted %d of %d requested\n", stats.Accepted, len(samples))
+	// Output:
+	// accepted 80 of 80 requested
 }
 
 // ExampleSampler_NewPipeline streams samples incrementally with a kill

@@ -1,8 +1,3 @@
-// Package datagen produces the seeded synthetic datasets the experiments
-// run against: i.i.d. and correlated boolean databases (the shapes the
-// HIDDEN-DB-SAMPLER paper analyses), Zipfian categorical databases, and a
-// Google-Base-like Vehicles database that stands in for the demo's live
-// data source. All generators are deterministic given their seed.
 package datagen
 
 import (

@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"fmt"
+	"iter"
+
+	"hdsampler/internal/hiddendb"
+)
+
+// Huge streams the skewed-posting benchmark shape (a ~1% selective
+// attribute, a 95%/5% common attribute, and a 4-value filler) at sizes
+// where materializing a []Tuple first would dominate memory and build
+// time. Tuple values are a pure function of the index through a
+// splitmix64-style mixer, so the stream is deterministic, restartable,
+// and needs no per-tuple RNG state: 100M-tuple posting structures can
+// be built directly from the stream without ever holding the tuples.
+type Huge struct {
+	// N is the number of tuples in the stream.
+	N int
+	// Seed perturbs the value mixer; equal seeds give equal streams.
+	Seed uint64
+
+	schema *hiddendb.Schema
+}
+
+// NewHuge returns the streaming generator for n tuples.
+func NewHuge(n int, seed uint64) *Huge {
+	if n < 1 {
+		panic(fmt.Sprintf("datagen: invalid Huge size n=%d", n))
+	}
+	rare := make([]string, 100)
+	for i := range rare {
+		rare[i] = fmt.Sprintf("r%02d", i)
+	}
+	schema := hiddendb.MustSchema("huge-skew",
+		hiddendb.CatAttr("rare", rare...),
+		hiddendb.CatAttr("common", "yes", "no"),
+		hiddendb.CatAttr("mid", "a", "b", "c", "d"),
+	)
+	return &Huge{N: n, Seed: seed, schema: schema}
+}
+
+// Schema returns the stream's schema: rare (100 values, ~1% each),
+// common (95% "yes"), mid (4 uniform values).
+func (h *Huge) Schema() *hiddendb.Schema { return h.schema }
+
+// Tuples yields (index, values) for every tuple in order. The values
+// slice is reused between iterations — callers that keep a row must
+// copy it.
+func (h *Huge) Tuples() iter.Seq2[int, []int] {
+	return func(yield func(int, []int) bool) {
+		vals := make([]int, 3)
+		for i := 0; i < h.N; i++ {
+			h.fill(i, vals)
+			if !yield(i, vals) {
+				return
+			}
+		}
+	}
+}
+
+// At writes tuple i's values into vals (len ≥ 3) — random access for
+// samplers that probe the stream out of order.
+func (h *Huge) At(i int, vals []int) {
+	h.fill(i, vals)
+}
+
+func (h *Huge) fill(i int, vals []int) {
+	x := mix64(h.Seed ^ uint64(i))
+	vals[0] = int(x % 100)
+	if (x>>32)%20 == 19 {
+		vals[1] = 1 // the 5% minority
+	} else {
+		vals[1] = 0
+	}
+	vals[2] = int((x >> 16) % 4)
+}
+
+// Dataset materializes the stream into a Dataset for sizes where that
+// is affordable; the per-tuple value slices share one backing array.
+func (h *Huge) Dataset() *Dataset {
+	backing := make([]int, 3*h.N)
+	tuples := make([]hiddendb.Tuple, h.N)
+	for i, vals := range h.Tuples() {
+		row := backing[3*i : 3*i+3 : 3*i+3]
+		copy(row, vals)
+		tuples[i] = hiddendb.Tuple{Vals: row}
+	}
+	return &Dataset{Schema: h.schema, Tuples: tuples}
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mixer, so
+// distinct indices give well-scattered values with no RNG state.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

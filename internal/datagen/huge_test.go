@@ -1,0 +1,76 @@
+package datagen
+
+import "testing"
+
+func TestHugeStreamDeterministic(t *testing.T) {
+	h := NewHuge(50000, 9)
+	counts := [3][]int{make([]int, 100), make([]int, 2), make([]int, 4)}
+	rows := 0
+	first := make([][3]int, 0, 50000)
+	for i, vals := range h.Tuples() {
+		if i != rows {
+			t.Fatalf("stream index %d at row %d", i, rows)
+		}
+		rows++
+		for a, v := range vals {
+			counts[a][v]++
+		}
+		first = append(first, [3]int{vals[0], vals[1], vals[2]})
+	}
+	if rows != h.N {
+		t.Fatalf("stream yielded %d rows, want %d", rows, h.N)
+	}
+	// Distribution sanity: rare values near 1% each, common near 95/5.
+	for v, c := range counts[0] {
+		if c < 300 || c > 700 {
+			t.Fatalf("rare value %d count %d outside [300,700]", v, c)
+		}
+	}
+	if frac := float64(counts[1][0]) / float64(rows); frac < 0.93 || frac > 0.97 {
+		t.Fatalf("common majority fraction %.3f outside [0.93,0.97]", frac)
+	}
+	// A second pass and random access must reproduce the same rows.
+	var vals [3]int
+	for i, row := range h.Tuples() {
+		if [3]int{row[0], row[1], row[2]} != first[i] {
+			t.Fatalf("second pass diverged at row %d", i)
+		}
+		h.At(i, vals[:])
+		if vals != first[i] {
+			t.Fatalf("At(%d) = %v, stream had %v", i, vals, first[i])
+		}
+	}
+	// Materialization agrees with the stream.
+	ds := NewHuge(5000, 9).Dataset()
+	if len(ds.Tuples) != 5000 {
+		t.Fatalf("Dataset has %d tuples", len(ds.Tuples))
+	}
+	for i := 0; i < 5000; i++ {
+		got := ds.Tuples[i].Vals
+		if [3]int{got[0], got[1], got[2]} != first[i] {
+			t.Fatalf("Dataset row %d = %v, stream had %v", i, got, first[i])
+		}
+	}
+	// Different seeds give different streams.
+	other := NewHuge(5000, 10)
+	same := 0
+	for i, row := range other.Tuples() {
+		if [3]int{row[0], row[1], row[2]} == first[i] {
+			same++
+		}
+	}
+	if same == 5000 {
+		t.Fatal("seed is ignored: streams identical")
+	}
+	// Early break must not run the full stream.
+	steps := 0
+	for range NewHuge(1<<30, 1).Tuples() {
+		steps++
+		if steps == 10 {
+			break
+		}
+	}
+	if steps != 10 {
+		t.Fatalf("early break took %d steps", steps)
+	}
+}

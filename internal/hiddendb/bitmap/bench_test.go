@@ -1,0 +1,58 @@
+package bitmap_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb/bitmap"
+)
+
+// buildHugeBitmaps streams the datagen.Huge skew shape and builds the
+// three posting bitmaps for the benchmark query rare=0 ∧ common=0 ∧
+// mid=0 (~1%, ~95% and ~25% selectivity) without materializing tuples,
+// so the 100M shape never holds the dataset in memory.
+func buildHugeBitmaps(tb testing.TB, n int) []*bitmap.Bitmap {
+	tb.Helper()
+	h := datagen.NewHuge(n, 1)
+	rare, common, mid := bitmap.New(), bitmap.New(), bitmap.New()
+	for i, vals := range h.Tuples() {
+		if vals[0] == 0 {
+			rare.Add(uint32(i))
+		}
+		if vals[1] == 0 {
+			common.Add(uint32(i))
+		}
+		if vals[2] == 0 {
+			mid.Add(uint32(i))
+		}
+	}
+	for _, b := range []*bitmap.Bitmap{rare, common, mid} {
+		b.Optimize()
+	}
+	return []*bitmap.Bitmap{rare, common, mid}
+}
+
+// BenchmarkBitmapIntersect measures the full three-way intersection
+// kernel (exact-count mode: no early exit) over the datagen.Huge skew
+// shape. The 10M and 100M shapes are skipped under -short; CI runs 1M
+// and the nightly workflow runs all three.
+func BenchmarkBitmapIntersect(b *testing.B) {
+	for _, n := range []int{1_000_000, 10_000_000, 100_000_000} {
+		name := fmt.Sprintf("%dM", n/1_000_000)
+		b.Run(name, func(b *testing.B) {
+			if testing.Short() && n > 1_000_000 {
+				b.Skipf("%s shape skipped under -short", name)
+			}
+			srcs := buildHugeBitmaps(b, n)
+			dst := bitmap.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c := bitmap.IntersectInto(dst, srcs, 0, true); c == 0 {
+					b.Fatal("empty intersection")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,387 @@
+package bitmap
+
+import (
+	"math/bits"
+	"sort"
+)
+
+const (
+	// arrayMaxCard is the densest an array container may get; the 4097th
+	// value converts it to a bitmap container. 4096 uint16s occupy the
+	// same 8KiB as the bitmap words, so the array shape is only ever kept
+	// while it is strictly smaller.
+	arrayMaxCard = 4096
+	// containerWords is the fixed word count of a bitmap container:
+	// 1024 uint64 words cover the 65536 low-bit values of one chunk.
+	containerWords = 1024
+	// containerSpan is the number of values one container covers.
+	containerSpan = 1 << 16
+)
+
+// Container shapes. The zero value is an array container, the shape
+// every chunk starts in.
+const (
+	typeArray uint8 = iota
+	typeBitmap
+	typeRun
+)
+
+// interval is one run [Start, Last], inclusive on both ends (inclusive
+// ends let a run cover the full chunk without overflowing uint16).
+type interval struct {
+	Start, Last uint16
+}
+
+// container is one 65536-value chunk in whichever of the three shapes
+// currently holds it. Exactly one of arr/words/runs is meaningful,
+// selected by typ; the others keep their capacity for reuse when the
+// container changes shape or its Bitmap is Reset.
+type container struct {
+	typ   uint8
+	card  int32
+	arr   []uint16
+	words []uint64
+	runs  []interval
+}
+
+// Bitmap is a compressed set of uint32 values: sorted chunk keys (the
+// values' high 16 bits) paired with one container each. The zero value
+// is an empty bitmap ready for use. Bitmaps are not safe for concurrent
+// mutation; concurrent readers are fine.
+type Bitmap struct {
+	keys []uint16
+	cts  []container
+	card int64
+
+	// Intersection scratch, owned by the Bitmap when it is used as an
+	// IntersectInto destination: per-source key cursors and the
+	// cardinality-ordered source view. Kept here so a pooled destination
+	// makes repeated intersections allocation-free.
+	cur  []int
+	srcs []*Bitmap
+}
+
+// New returns an empty bitmap.
+func New() *Bitmap { return &Bitmap{} }
+
+// Cardinality returns the number of values in the set.
+func (b *Bitmap) Cardinality() int { return int(b.card) }
+
+// IsEmpty reports whether the set has no values.
+func (b *Bitmap) IsEmpty() bool { return b.card == 0 }
+
+// Reset empties the bitmap, keeping every container's storage for
+// reuse — the pooled-scratch discipline of the intersection hot path.
+func (b *Bitmap) Reset() {
+	for i := range b.cts {
+		c := &b.cts[i]
+		c.typ = typeArray
+		c.card = 0
+		c.arr = c.arr[:0]
+		c.runs = c.runs[:0]
+		// words keep capacity; they are re-zeroed on first bitmap use.
+	}
+	b.keys = b.keys[:0]
+	b.cts = b.cts[:0]
+	b.card = 0
+}
+
+// Add inserts x. Adding in ascending order is O(1) amortized (the
+// posting-build path); out-of-order adds pay a binary search and, for
+// array containers, an insertion memmove.
+func (b *Bitmap) Add(x uint32) {
+	key := uint16(x >> 16)
+	low := uint16(x)
+	n := len(b.keys)
+	// Fast path: the chunk is the current tail (ascending build order).
+	if n > 0 && b.keys[n-1] == key {
+		if b.cts[n-1].add(low) {
+			b.card++
+		}
+		return
+	}
+	if n == 0 || key > b.keys[n-1] {
+		c := b.appendContainer(key)
+		c.arr = append(c.arr, low)
+		c.card = 1
+		b.card++
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return b.keys[i] >= key })
+	if i < n && b.keys[i] == key {
+		if b.cts[i].add(low) {
+			b.card++
+		}
+		return
+	}
+	// Insert a fresh container at i.
+	b.keys = append(b.keys, 0)
+	copy(b.keys[i+1:], b.keys[i:])
+	b.keys[i] = key
+	b.cts = append(b.cts, container{})
+	copy(b.cts[i+1:], b.cts[i:])
+	b.cts[i] = container{typ: typeArray, card: 1, arr: []uint16{low}}
+	b.card++
+}
+
+// appendContainer extends the container slice by one chunk at the tail,
+// reusing spare capacity (and the spare element's buffers) when Reset
+// left any behind.
+func (b *Bitmap) appendContainer(key uint16) *container {
+	b.keys = append(b.keys, key)
+	if len(b.cts) < cap(b.cts) {
+		b.cts = b.cts[:len(b.cts)+1]
+		c := &b.cts[len(b.cts)-1]
+		c.typ = typeArray
+		c.card = 0
+		c.arr = c.arr[:0]
+		c.runs = c.runs[:0]
+		return c
+	}
+	b.cts = append(b.cts, container{})
+	return &b.cts[len(b.cts)-1]
+}
+
+// add inserts low into the container, reporting whether it was new.
+func (c *container) add(low uint16) bool {
+	switch c.typ {
+	case typeArray:
+		n := len(c.arr)
+		if n == 0 || low > c.arr[n-1] {
+			c.arr = append(c.arr, low)
+		} else {
+			i := sort.Search(n, func(i int) bool { return c.arr[i] >= low })
+			if i < n && c.arr[i] == low {
+				return false
+			}
+			c.arr = append(c.arr, 0)
+			copy(c.arr[i+1:], c.arr[i:])
+			c.arr[i] = low
+		}
+		c.card++
+		if c.card > arrayMaxCard {
+			c.toBitmap()
+		}
+		return true
+	case typeBitmap:
+		w, bit := int(low>>6), uint64(1)<<(low&63)
+		if c.words[w]&bit != 0 {
+			return false
+		}
+		c.words[w] |= bit
+		c.card++
+		return true
+	default: // typeRun: rare (post-Optimize mutation); fall back to bitmap shape
+		c.runToBitmap()
+		return c.add(low)
+	}
+}
+
+// ensureWords readies the container's word block: full capacity, zeroed.
+func (c *container) ensureWords() {
+	if cap(c.words) < containerWords {
+		c.words = make([]uint64, containerWords)
+		return
+	}
+	c.words = c.words[:containerWords]
+	clear(c.words)
+}
+
+// toBitmap converts an array container to bitmap shape.
+func (c *container) toBitmap() {
+	arr := c.arr
+	c.ensureWords()
+	for _, v := range arr {
+		c.words[v>>6] |= uint64(1) << (v & 63)
+	}
+	c.typ = typeBitmap
+	c.arr = c.arr[:0]
+}
+
+// runToBitmap converts a run container to bitmap shape.
+func (c *container) runToBitmap() {
+	runs := c.runs
+	c.ensureWords()
+	for _, r := range runs {
+		setRange(c.words, r.Start, r.Last)
+	}
+	c.typ = typeBitmap
+	c.runs = c.runs[:0]
+}
+
+// setRange sets bits [start, last] (inclusive) in words.
+func setRange(words []uint64, start, last uint16) {
+	w1, w2 := int(start>>6), int(last>>6)
+	m1 := ^uint64(0) << (start & 63)
+	m2 := ^uint64(0) >> (63 - (last & 63))
+	if w1 == w2 {
+		words[w1] |= m1 & m2
+		return
+	}
+	words[w1] |= m1
+	for w := w1 + 1; w < w2; w++ {
+		words[w] = ^uint64(0)
+	}
+	words[w2] |= m2
+}
+
+// Contains reports whether x is in the set.
+func (b *Bitmap) Contains(x uint32) bool {
+	key := uint16(x >> 16)
+	i := b.findKey(key)
+	if i < 0 {
+		return false
+	}
+	return b.cts[i].contains(uint16(x))
+}
+
+// findKey returns the container index of key, or -1.
+func (b *Bitmap) findKey(key uint16) int {
+	n := len(b.keys)
+	i := sort.Search(n, func(i int) bool { return b.keys[i] >= key })
+	if i < n && b.keys[i] == key {
+		return i
+	}
+	return -1
+}
+
+func (c *container) contains(low uint16) bool {
+	switch c.typ {
+	case typeArray:
+		i := sort.Search(len(c.arr), func(i int) bool { return c.arr[i] >= low })
+		return i < len(c.arr) && c.arr[i] == low
+	case typeBitmap:
+		return c.words[low>>6]&(uint64(1)<<(low&63)) != 0
+	default:
+		i := sort.Search(len(c.runs), func(i int) bool { return c.runs[i].Last >= low })
+		return i < len(c.runs) && c.runs[i].Start <= low
+	}
+}
+
+// Optimize converts containers to run shape where runs are strictly
+// smaller than the current representation. Call it once after a bulk
+// build; posting lists with clustered positions (rank-correlated
+// attributes) shrink substantially.
+func (b *Bitmap) Optimize() {
+	for i := range b.cts {
+		b.cts[i].optimize()
+	}
+}
+
+func (c *container) optimize() {
+	runs := c.countRuns()
+	// Sizes in bytes: run = 4 per interval, array = 2 per value,
+	// bitmap = 8KiB.
+	runBytes := 4 * runs
+	var curBytes int
+	switch c.typ {
+	case typeArray:
+		curBytes = 2 * int(c.card)
+	case typeBitmap:
+		curBytes = 8 * containerWords
+	default:
+		return // already runs
+	}
+	if runBytes >= curBytes {
+		return
+	}
+	c.toRuns(runs)
+}
+
+// countRuns returns the number of maximal runs of consecutive values.
+func (c *container) countRuns() int {
+	switch c.typ {
+	case typeArray:
+		runs := 0
+		for i, v := range c.arr {
+			if i == 0 || v != c.arr[i-1]+1 {
+				runs++
+			}
+		}
+		return runs
+	case typeBitmap:
+		// A run starts at every set bit whose predecessor is clear:
+		// popcount of w &^ (w<<1 | carry from the previous word).
+		runs := 0
+		carry := uint64(0)
+		for _, w := range c.words {
+			runs += bits.OnesCount64(w &^ (w<<1 | carry))
+			carry = w >> 63
+		}
+		return runs
+	default:
+		return len(c.runs)
+	}
+}
+
+// toRuns rewrites the container as nruns intervals.
+func (c *container) toRuns(nruns int) {
+	runs := c.runs[:0]
+	if cap(runs) < nruns {
+		runs = make([]interval, 0, nruns)
+	}
+	switch c.typ {
+	case typeArray:
+		for i := 0; i < len(c.arr); {
+			j := i
+			for j+1 < len(c.arr) && c.arr[j+1] == c.arr[j]+1 {
+				j++
+			}
+			runs = append(runs, interval{c.arr[i], c.arr[j]})
+			i = j + 1
+		}
+		c.arr = c.arr[:0]
+	case typeBitmap:
+		for i := nextSet(c.words, 0); i < containerSpan; {
+			j := nextClear(c.words, i) // first clear bit after the run
+			runs = append(runs, interval{uint16(i), uint16(j - 1)})
+			if j >= containerSpan {
+				break
+			}
+			i = nextSet(c.words, j)
+		}
+		c.words = c.words[:0]
+	}
+	c.typ = typeRun
+	c.runs = runs
+}
+
+// nextSet returns the position of the first set bit at or after pos, or
+// containerSpan when none remains.
+func nextSet(words []uint64, pos int) int {
+	if pos >= containerSpan {
+		return containerSpan
+	}
+	w := pos >> 6
+	word := words[w] & (^uint64(0) << (pos & 63))
+	for {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= containerWords {
+			return containerSpan
+		}
+		word = words[w]
+	}
+}
+
+// nextClear returns the position of the first clear bit at or after pos,
+// or containerSpan when the words are solid to the end.
+func nextClear(words []uint64, pos int) int {
+	if pos >= containerSpan {
+		return containerSpan
+	}
+	w := pos >> 6
+	word := ^words[w] & (^uint64(0) << (pos & 63))
+	for {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= containerWords {
+			return containerSpan
+		}
+		word = ^words[w]
+	}
+}

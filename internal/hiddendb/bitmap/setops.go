@@ -1,0 +1,153 @@
+package bitmap
+
+import "math/bits"
+
+// Or writes a ∪ b into dst and returns the resulting cardinality. dst
+// is Reset first; it must be distinct from both operands. Union is the
+// building block for disjunctive predicate extensions (numeric ranges
+// as unions of bucket posting lists).
+func Or(dst, a, b *Bitmap) int {
+	dst.Reset()
+	i, j := 0, 0
+	for i < len(a.keys) || j < len(b.keys) {
+		switch {
+		case j == len(b.keys) || (i < len(a.keys) && a.keys[i] < b.keys[j]):
+			d := dst.appendContainer(a.keys[i])
+			d.copyFrom(&a.cts[i])
+			i++
+		case i == len(a.keys) || b.keys[j] < a.keys[i]:
+			d := dst.appendContainer(b.keys[j])
+			d.copyFrom(&b.cts[j])
+			j++
+		default: // equal keys: word-level OR
+			d := dst.appendContainer(a.keys[i])
+			d.orOf(&a.cts[i], &b.cts[j])
+			i++
+			j++
+		}
+		dst.card += int64(dst.cts[len(dst.cts)-1].card)
+	}
+	return int(dst.card)
+}
+
+// AndNot writes a \ b into dst and returns the resulting cardinality.
+// dst is Reset first; it must be distinct from both operands.
+func AndNot(dst, a, b *Bitmap) int {
+	dst.Reset()
+	j := 0
+	for i := range a.keys {
+		key := a.keys[i]
+		j = gallopKeys(b.keys, j, key)
+		if j == len(b.keys) || b.keys[j] != key {
+			d := dst.appendContainer(key)
+			d.copyFrom(&a.cts[i])
+			dst.card += int64(d.card)
+			continue
+		}
+		d := dst.appendContainer(key)
+		d.andNotOf(&a.cts[i], &b.cts[j])
+		if d.card == 0 {
+			dst.keys = dst.keys[:len(dst.keys)-1]
+			dst.cts = dst.cts[:len(dst.cts)-1]
+			continue
+		}
+		dst.card += int64(d.card)
+	}
+	return int(dst.card)
+}
+
+// orOf fills c with a ∪ b: both operands are materialized into the word
+// block (the simple, always-correct path — union is never on the query
+// hot path), then the result converts back to array shape when sparse.
+func (c *container) orOf(a, b *container) {
+	c.typ = typeBitmap
+	c.ensureWords()
+	c.orInto(a)
+	c.orInto(b)
+	var card int32
+	for _, w := range c.words {
+		card += int32(bits.OnesCount64(w))
+	}
+	c.card = card
+	c.toArrayIfSmall()
+}
+
+// orInto sets every bit of o in c's word block.
+func (c *container) orInto(o *container) {
+	switch o.typ {
+	case typeArray:
+		for _, v := range o.arr {
+			c.words[v>>6] |= uint64(1) << (v & 63)
+		}
+	case typeBitmap:
+		for i := range c.words {
+			c.words[i] |= o.words[i]
+		}
+	default:
+		for _, r := range o.runs {
+			setRange(c.words, r.Start, r.Last)
+		}
+	}
+}
+
+// andNotOf fills c with a \ b via the word block, converting back to
+// array shape when sparse.
+func (c *container) andNotOf(a, b *container) {
+	c.typ = typeBitmap
+	c.ensureWords()
+	c.orInto(a)
+	switch b.typ {
+	case typeArray:
+		for _, v := range b.arr {
+			c.words[v>>6] &^= uint64(1) << (v & 63)
+		}
+	case typeBitmap:
+		for i := range c.words {
+			c.words[i] &^= b.words[i]
+		}
+	default:
+		for _, r := range b.runs {
+			clearRange(c.words, r.Start, r.Last)
+		}
+	}
+	var card int32
+	for _, w := range c.words {
+		card += int32(bits.OnesCount64(w))
+	}
+	c.card = card
+	c.toArrayIfSmall()
+}
+
+// clearRange clears bits [start, last] (inclusive) in words.
+func clearRange(words []uint64, start, last uint16) {
+	w1, w2 := int(start>>6), int(last>>6)
+	m1 := ^uint64(0) << (start & 63)
+	m2 := ^uint64(0) >> (63 - (last & 63))
+	if w1 == w2 {
+		words[w1] &^= m1 & m2
+		return
+	}
+	words[w1] &^= m1
+	for w := w1 + 1; w < w2; w++ {
+		words[w] = 0
+	}
+	words[w2] &^= m2
+}
+
+// toArrayIfSmall converts a bitmap-shaped container back to array shape
+// when its cardinality fits.
+func (c *container) toArrayIfSmall() {
+	if c.typ != typeBitmap || c.card > arrayMaxCard {
+		return
+	}
+	arr := c.arr[:0]
+	for w, word := range c.words {
+		for word != 0 {
+			arr = append(arr, uint16(w<<6+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	c.typ = typeArray
+	c.arr = arr
+	c.words = c.words[:0]
+}

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"hdsampler/internal/hiddendb/bitmap"
 )
 
 // CountMode selects how the interface reports result counts, matching the
@@ -39,6 +42,35 @@ func (m CountMode) String() string {
 	}
 }
 
+// PostingBackend selects the posting-list representation behind
+// Execute's conjunctive intersections.
+type PostingBackend int
+
+const (
+	// PostingsBitmap (the default) stores posting lists as roaring-style
+	// compressed bitmaps (internal/hiddendb/bitmap): array/bitmap/run
+	// containers keyed by the high 16 bits of the rank position, with
+	// word-level AND kernels and free exact counts from container
+	// cardinalities. This is the backend that holds at 100M+ tuples.
+	PostingsBitmap PostingBackend = iota
+	// PostingsSorted is the PR 4 sorted-[]int32 representation with
+	// galloping intersection, kept as the differential-testing and
+	// benchmarking reference for the bitmap backend.
+	PostingsSorted
+)
+
+// String returns the backend's name.
+func (p PostingBackend) String() string {
+	switch p {
+	case PostingsBitmap:
+		return "bitmap"
+	case PostingsSorted:
+		return "sorted"
+	default:
+		return fmt.Sprintf("postings(%d)", int(p))
+	}
+}
+
 // Config tunes a DB's interface behaviour.
 type Config struct {
 	// K is the top-k limit: the maximum tuples displayed per query.
@@ -57,6 +89,15 @@ type Config struct {
 	// interface will answer before returning ErrBudgetExhausted — data
 	// providers commonly cap queries per client.
 	QueryBudget int64
+	// Postings selects the posting-list representation (default
+	// PostingsBitmap).
+	Postings PostingBackend
+	// ParallelIntersect enables splitting large multi-predicate bitmap
+	// intersections across GOMAXPROCS workers. Only queries with at
+	// least three predicates whose cheapest posting list still spans
+	// ≥65536 rank positions take the parallel path; everything else
+	// stays on the serial early-exit kernel. Ignored by PostingsSorted.
+	ParallelIntersect bool
 }
 
 // ErrBudgetExhausted is returned once a DB's QueryBudget is spent.
@@ -78,8 +119,12 @@ type DB struct {
 	rankPos []int32
 	byRank  []int32
 	// postings[attr][value] lists matching tuples as rank positions,
-	// ascending, so intersections stream out in rank order.
-	postings [][][]int32
+	// ascending, so intersections stream out in rank order. Exactly one
+	// of the two representations is populated, per Config.Postings:
+	// sorted []int32 slices, or roaring-style compressed bitmaps. A nil
+	// bitPostings entry means no tuple has that value.
+	postings    [][][]int32
+	bitPostings [][]*bitmap.Bitmap
 
 	// scratch pools per-Execute intersection state (posting-list views,
 	// galloping cursors, match buffer) so the hot path allocates nothing
@@ -94,6 +139,8 @@ type matchScratch struct {
 	lists   [][]int32
 	cursors []int
 	out     []int32
+	views   []*bitmap.Bitmap
+	res     *bitmap.Bitmap
 }
 
 // New builds a DB over the given tuples. Tuples are validated against the
@@ -116,7 +163,7 @@ func New(schema *Schema, tuples []Tuple, ranker Ranker, cfg Config) (*DB, error)
 		return nil, fmt.Errorf("hiddendb: CountNoise %g outside [0,1)", cfg.CountNoise)
 	}
 	db := &DB{schema: schema, cfg: cfg, ranker: ranker, tuples: tuples}
-	db.scratch.New = func() any { return new(matchScratch) }
+	db.scratch.New = func() any { return &matchScratch{res: bitmap.New()} }
 	m := len(schema.Attrs)
 	for i := range db.tuples {
 		t := &db.tuples[i]
@@ -164,6 +211,37 @@ func (db *DB) buildRank() {
 }
 
 func (db *DB) buildPostings() {
+	if db.cfg.Postings == PostingsSorted {
+		db.buildSortedPostings()
+		return
+	}
+	m := len(db.schema.Attrs)
+	db.bitPostings = make([][]*bitmap.Bitmap, m)
+	for a := 0; a < m; a++ {
+		db.bitPostings[a] = make([]*bitmap.Bitmap, db.schema.DomainSize(a))
+	}
+	// Iterate in rank order so every Add is an ascending tail append —
+	// O(1) amortized per value, no mid-container memmoves even at 100M.
+	for pos, id := range db.byRank {
+		for a, v := range db.tuples[id].Vals {
+			pb := db.bitPostings[a][v]
+			if pb == nil {
+				pb = bitmap.New()
+				db.bitPostings[a][v] = pb
+			}
+			pb.Add(uint32(pos))
+		}
+	}
+	for a := range db.bitPostings {
+		for _, pb := range db.bitPostings[a] {
+			if pb != nil {
+				pb.Optimize()
+			}
+		}
+	}
+}
+
+func (db *DB) buildSortedPostings() {
 	m := len(db.schema.Attrs)
 	db.postings = make([][][]int32, m)
 	for a := 0; a < m; a++ {
@@ -225,7 +303,13 @@ func (db *DB) Execute(q Query) (*Result, error) {
 	// same intersection pass instead of re-deriving the whole intersection
 	// afterwards. Count-free interfaces stop scanning at K+1.
 	needTotal := db.cfg.CountMode != CountNone
-	matchPos, total := db.matchPositions(sc, q, db.cfg.K+1, needTotal)
+	var matchPos []int32
+	var total int
+	if db.cfg.Postings == PostingsSorted {
+		matchPos, total = db.matchPositions(sc, q, db.cfg.K+1, needTotal)
+	} else {
+		matchPos, total = db.matchBitmap(sc, q, db.cfg.K+1, needTotal)
+	}
 	//hdlint:ignore hotpath the answer's documented two-allocation budget: the Result header here plus its Tuples slice below
 	res := &Result{Count: CountAbsent}
 	if total > db.cfg.K {
@@ -262,17 +346,7 @@ func (db *DB) Execute(q Query) (*Result, error) {
 func (db *DB) matchPositions(sc *matchScratch, q Query, limit int, needTotal bool) (pos []int32, total int) {
 	d := q.Len()
 	if d == 0 {
-		total = len(db.tuples)
-		n := total
-		if n > limit {
-			n = limit
-		}
-		out := sc.out[:0]
-		for i := 0; i < n; i++ {
-			out = append(out, int32(i))
-		}
-		sc.out = out
-		return out, total
+		return db.matchAll(sc, limit)
 	}
 	lists := sc.lists[:0]
 	for i := 0; i < d; i++ {
@@ -318,6 +392,97 @@ outer:
 	return out, total
 }
 
+// matchAll answers the empty (predicate-free) query shared by both
+// posting backends: every tuple matches, so the first limit rank
+// positions are simply 0..limit-1.
+//
+//hdlint:hotpath
+func (db *DB) matchAll(sc *matchScratch, limit int) (pos []int32, total int) {
+	total = len(db.tuples)
+	n := total
+	if n > limit {
+		n = limit
+	}
+	out := sc.out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, int32(i))
+	}
+	sc.out = out
+	return out, total
+}
+
+// parallelMinSeedCard is the cheapest-posting-list cardinality below
+// which ParallelIntersect stays serial: splitting fewer than one
+// container's worth of seed values per worker costs more in fan-out than
+// the word kernels save.
+const parallelMinSeedCard = 1 << 16
+
+// matchBitmap is matchPositions for the bitmap backend: it intersects
+// the query's posting bitmaps into sc.res, seeded from the
+// lowest-cardinality predicate, and materializes the first limit rank
+// positions into sc.out. The exact total falls out of the result
+// cardinality for free when needTotal is set (the CountExact single-pass
+// contract); otherwise the intersection early-exits once limit values
+// are known, and total is only guaranteed to be ≥ limit or exact —
+// still enough to decide overflow at limit = K+1.
+//
+//hdlint:hotpath
+func (db *DB) matchBitmap(sc *matchScratch, q Query, limit int, needTotal bool) (pos []int32, total int) {
+	d := q.Len()
+	if d == 0 {
+		return db.matchAll(sc, limit)
+	}
+	views := sc.views[:0]
+	minCard := -1
+	for i := 0; i < d; i++ {
+		p := q.Pred(i)
+		pb := db.bitPostings[p.Attr][p.Value]
+		if pb == nil {
+			// No tuple carries this value: the conjunction is empty.
+			sc.views = views
+			sc.out = sc.out[:0]
+			return sc.out, 0
+		}
+		if c := pb.Cardinality(); minCard < 0 || c < minCard {
+			minCard = c
+		}
+		views = append(views, pb)
+	}
+	sc.views = views
+	if d == 1 {
+		return db.materialize(sc, views[0], limit, views[0].Cardinality())
+	}
+	res := sc.res
+	if db.cfg.ParallelIntersect && d >= 3 && minCard >= parallelMinSeedCard {
+		total = bitmap.ParallelIntersectInto(res, views, runtime.GOMAXPROCS(0))
+	} else {
+		total = bitmap.IntersectInto(res, views, limit, needTotal)
+	}
+	return db.materialize(sc, res, limit, total)
+}
+
+// materialize copies the first limit values of b into sc.out as rank
+// positions.
+//
+//hdlint:hotpath
+func (db *DB) materialize(sc *matchScratch, b *bitmap.Bitmap, limit, total int) (pos []int32, n int) {
+	k := b.Cardinality()
+	if k > limit {
+		k = limit
+	}
+	out := sc.out[:0]
+	it := b.Iterator()
+	for i := 0; i < k; i++ {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, int32(v))
+	}
+	sc.out = out
+	return out, total
+}
+
 // gallop returns the smallest index i in [lo, len(l)] with l[i] >= x,
 // assuming l ascending. It probes exponentially from lo, then binary
 // searches the bracketed window, so advancing a cursor over a small gap is
@@ -353,7 +518,12 @@ func gallop(l []int32, lo int, x int32) int {
 // interface; experiments use it for ground truth, never the samplers.
 func (db *DB) TrueCount(q Query) int {
 	sc := db.scratch.Get().(*matchScratch)
-	_, total := db.matchPositions(sc, q, 0, true)
+	var total int
+	if db.cfg.Postings == PostingsSorted {
+		_, total = db.matchPositions(sc, q, 0, true)
+	} else {
+		_, total = db.matchBitmap(sc, q, 0, true)
+	}
 	db.scratch.Put(sc)
 	return total
 }

@@ -1,0 +1,75 @@
+package jobsvc_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"hdsampler/internal/datagen"
+	"hdsampler/internal/hiddendb"
+	"hdsampler/internal/jobsvc"
+	"hdsampler/internal/webform"
+)
+
+// Example_restJobSubmission drives the hdsamplerd REST API end to end in
+// process: stand up a simulated hidden database behind its web form,
+// expose a job manager through the HTTP handler, submit a sampling job
+// with POST /jobs, and poll GET /jobs/{id} until it finishes. It runs
+// under go test — the target, the walk, and the rejection step are all
+// seeded, so the job always accepts exactly what it was asked for.
+func Example_restJobSubmission() {
+	// The target: a simulated hidden database behind its HTML/JSON form.
+	ds := datagen.Vehicles(5000, 21)
+	db, err := hiddendb.New(ds.Schema, ds.Tuples, nil, hiddendb.Config{K: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := httptest.NewServer(webform.NewServer(db, webform.Options{}))
+	defer target.Close()
+
+	// The daemon: a job manager behind the REST handler.
+	m := jobsvc.NewManager(jobsvc.Config{Client: target.Client()})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	daemon := httptest.NewServer(jobsvc.NewHandler(m))
+	defer daemon.Close()
+
+	// Submit a job: 25 samples from the target, seeded for replay.
+	body, _ := json.Marshal(jobsvc.Spec{URL: target.URL, N: 25, Seed: 7})
+	resp, err := daemon.Client().Post(daemon.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var v jobsvc.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted: %d, state %s\n", resp.StatusCode, v.State)
+
+	// Poll the job's live progress until it reaches a terminal state.
+	for !v.State.Terminal() {
+		time.Sleep(10 * time.Millisecond)
+		resp, err := daemon.Client().Get(daemon.URL + "/jobs/" + v.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	fmt.Printf("finished: state %s, accepted %d\n", v.State, v.Accepted)
+	// Output:
+	// submitted: 201, state queued
+	// finished: state completed, accepted 25
+}

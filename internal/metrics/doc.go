@@ -1,0 +1,6 @@
+// Package metrics provides the statistical measures the experiments report:
+// distribution distances (total variation, L2), skew (coefficient of
+// variation of selection probabilities), and a chi-square goodness-of-fit
+// test with a stdlib-only p-value via the regularized incomplete gamma
+// function.
+package metrics

@@ -1,27 +1,3 @@
-// Package queryexec is the query-execution layer every concurrent sampler
-// path routes through on its way to the interface. It attacks the round
-// trips the history cache cannot: the cache memoizes *completed* queries,
-// but concurrent replicas walking the same top-of-tree prefixes race
-// identical in-flight queries past each other and all miss. The layer
-// stacks three mechanisms below the cache:
-//
-//   - Single-flight coalescing: identical in-flight queries (keyed like
-//     the history cache, on the canonical Query.Key) collapse into one
-//     wire request whose answer fans out to every waiter.
-//   - Micro-batching: a small linger window packs concurrent *distinct*
-//     queries into one batch wire request when the connector supports it
-//     (formclient.API against webform's POST /api/search/batch). The
-//     server executes the whole batch under a single rate-limit charge,
-//     so a batch of b queries costs 1/b of the politeness budget each.
-//     Connectors without batch support (HTML scraping) fall back to
-//     sequential per-query execution — coalescing and limiting still
-//     apply.
-//   - An AIMD adaptive concurrency limiter shared per host: additive
-//     increase on clean responses, multiplicative decrease on 429
-//     pushback, plus an aggregate rate meter. This replaces the fixed
-//     per-goroutine politeness sleep, which never bounded the *aggregate*
-//     rate (N replicas each sleeping independently still hit the site at
-//     N times the configured pace).
 package queryexec
 
 import (
